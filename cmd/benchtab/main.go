@@ -1,0 +1,63 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation (Section VII) and the complexity table of Section VI-B.
+//
+// Per-participant computation figures (Fig. 2(a)–(d), Fig. 3(a)) are
+// produced by the calibrated cost model: the exact operation counts of
+// the implemented protocols multiplied by primitive timings measured on
+// this machine at startup. Fig. 3(b) replays synthetic communication
+// traces — validated against real protocol traces in the test suite —
+// over the discrete-event network simulator (80 nodes, 320 edges,
+// 2 Mbps / 50 ms links, the paper's NS2 setup).
+//
+// Usage:
+//
+//	benchtab -fig 2a            # one figure as TSV
+//	benchtab -table complexity  # the Section VI-B comparison table
+//	benchtab -all               # everything
+//	benchtab -fig 2a -real      # additionally run the real protocols
+//	                            # at small n as a cross-check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"groupranking/internal/benchtab"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtab: ")
+	fig := flag.String("fig", "", "figure to regenerate: 2a, 2b, 2c, 2d, 3a, 3b")
+	table := flag.String("table", "", "table to regenerate: complexity")
+	all := flag.Bool("all", false, "regenerate every figure and table")
+	real := flag.Bool("real", false, "also run real protocols at small n as a cross-check")
+	flag.Parse()
+
+	r, err := benchtab.New(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(name string) {
+		if err := r.Emit(name, *real); err != nil {
+			log.Fatal(err)
+		}
+	}
+	switch {
+	case *all:
+		for _, name := range benchtab.All() {
+			run(name)
+			fmt.Println()
+		}
+	case *fig != "":
+		run("fig" + *fig)
+	case *table != "":
+		run("table-" + *table)
+	default:
+		flag.Usage()
+		fmt.Fprintf(os.Stderr, "\navailable: %v\n", benchtab.All())
+		os.Exit(2)
+	}
+}

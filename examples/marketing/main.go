@@ -1,0 +1,90 @@
+// Marketing: the paper's motivating scenario (Section I). A health and
+// nutrition company promotes a product in an online community and wants
+// the k most suitable trial participants without collecting anyone
+// else's personal data. The target demographic is described by "equal
+// to" attributes (age, blood pressure) and marketing reach by "greater
+// than" attributes (number of friends, annual income). Run with:
+//
+//	go run ./examples/marketing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"groupranking"
+)
+
+func main() {
+	q, err := groupranking.NewQuestionnaire([]groupranking.Attribute{
+		{Name: "age", Kind: groupranking.EqualTo},
+		{Name: "blood_pressure", Kind: groupranking.EqualTo},
+		{Name: "friends", Kind: groupranking.GreaterThan},
+		{Name: "annual_income_k", Kind: groupranking.GreaterThan},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The company's trade secret: the product works best on people near
+	// 45 with blood pressure near 130; reach matters, income less so.
+	criterion := groupranking.Criterion{
+		Values:  []int64{45, 130, 0, 0},
+		Weights: []int64{8, 4, 3, 1},
+	}
+
+	// Twelve community members answered the questionnaire privately.
+	type member struct {
+		name    string
+		profile groupranking.Profile
+	}
+	members := []member{
+		{"alice", groupranking.Profile{Values: []int64{44, 128, 310, 72}}},
+		{"bob", groupranking.Profile{Values: []int64{23, 115, 840, 35}}},
+		{"carol", groupranking.Profile{Values: []int64{46, 133, 150, 96}}},
+		{"dave", groupranking.Profile{Values: []int64{45, 130, 95, 41}}},
+		{"erin", groupranking.Profile{Values: []int64{61, 150, 420, 88}}},
+		{"frank", groupranking.Profile{Values: []int64{47, 127, 505, 59}}},
+		{"grace", groupranking.Profile{Values: []int64{39, 122, 220, 77}}},
+		{"heidi", groupranking.Profile{Values: []int64{52, 138, 65, 102}}},
+		{"ivan", groupranking.Profile{Values: []int64{45, 131, 702, 64}}},
+		{"judy", groupranking.Profile{Values: []int64{30, 119, 55, 48}}},
+		{"mallory", groupranking.Profile{Values: []int64{48, 136, 388, 83}}},
+		{"oscar", groupranking.Profile{Values: []int64{43, 125, 134, 55}}},
+	}
+	profiles := make([]groupranking.Profile, len(members))
+	for i, m := range members {
+		profiles[i] = m.profile
+	}
+
+	const k = 4
+	res, err := groupranking.Rank(q, criterion, profiles, groupranking.Options{
+		K: k, D1: 10, D2: 4, H: 8, Seed: "marketing-campaign", GroupName: "toy-dl-256",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Free-trial campaign: %d members, top %d invited\n\n", len(members), k)
+	fmt.Println("What each member learned (their own rank only):")
+	for i, m := range members {
+		marker := ""
+		if res.Ranks[i] <= k {
+			marker = "  → invited, submitted profile"
+		}
+		fmt.Printf("  %-8s rank %2d%s\n", m.name, res.Ranks[i], marker)
+	}
+
+	fmt.Println("\nWhat the company learned (top-k submissions only):")
+	for _, s := range res.Submissions {
+		fmt.Printf("  rank %d: %-8s profile %v  gain %s\n",
+			s.ClaimedRank, members[s.Participant].name, s.Profile.Values, s.Gain)
+	}
+	if len(res.Suspicious) == 0 {
+		fmt.Println("\nOver-claim check: all submitted ranks consistent with recomputed gains.")
+	} else {
+		fmt.Printf("\nOver-claim check FLAGGED members: %v\n", res.Suspicious)
+	}
+	fmt.Printf("\nPrivacy: the %d low-ranking members disclosed nothing beyond their own rank.\n",
+		len(members)-len(res.Submissions))
+}

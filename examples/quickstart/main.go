@@ -1,0 +1,68 @@
+// Quickstart: rank eight participants privately and print each party's
+// view. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"groupranking"
+)
+
+func main() {
+	// The initiator publishes a questionnaire: "equal to" attributes
+	// first (best near the criterion), then "greater than" attributes
+	// (the more the better).
+	q, err := groupranking.NewQuestionnaire([]groupranking.Attribute{
+		{Name: "age", Kind: groupranking.EqualTo},
+		{Name: "activity_score", Kind: groupranking.GreaterThan},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The initiator's private criterion: prefers age near 30, weights
+	// age twice as heavily as activity.
+	criterion := groupranking.Criterion{
+		Values:  []int64{30, 0},
+		Weights: []int64{2, 1},
+	}
+
+	// Each participant holds a private profile.
+	profiles := []groupranking.Profile{
+		{Values: []int64{30, 50}}, // exact age match, high activity
+		{Values: []int64{25, 60}},
+		{Values: []int64{31, 20}},
+		{Values: []int64{45, 90}},
+		{Values: []int64{30, 10}},
+		{Values: []int64{28, 55}},
+		{Values: []int64{60, 99}},
+		{Values: []int64{33, 40}},
+	}
+
+	// Small bit widths keep this demo fast; production defaults are
+	// d1=15, d2=10, h=15 (see Options).
+	res, err := groupranking.Rank(q, criterion, profiles, groupranking.Options{
+		K: 3, D1: 7, D2: 4, H: 6, Seed: "quickstart",
+		// toy-dl-256 is a demo-only group so the example finishes in
+		// seconds; drop this line to use the production default secp160r1.
+		GroupName: "toy-dl-256",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Each participant learned only its own rank:")
+	for j, rank := range res.Ranks {
+		fmt.Printf("  participant %d → rank %d\n", j, rank)
+	}
+
+	fmt.Println("\nThe initiator received only the top-3 submissions:")
+	for _, s := range res.Submissions {
+		fmt.Printf("  rank %d: participant %d, profile %v, recomputed gain %s\n",
+			s.ClaimedRank, s.Participant, s.Profile.Values, s.Gain)
+	}
+	fmt.Printf("\nTraffic: %d bytes over %d communication rounds\n", res.BytesOnWire, res.Rounds)
+}

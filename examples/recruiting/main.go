@@ -1,0 +1,78 @@
+// Recruiting: the paper's third application (Section I) — an employer
+// on a business network recruits for a position with a requirement on
+// sensitive health information. Candidates are ranked without exposing
+// health data of those not hired. The example also uses the standalone
+// identity-unlinkable sorting primitive directly: the final-round
+// candidates privately rank their salary expectations so the employer
+// can budget without seeing any individual number. Run with:
+//
+//	go run ./examples/recruiting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"groupranking"
+)
+
+func main() {
+	// Part 1: full framework — rank applicants for the position.
+	q, err := groupranking.NewQuestionnaire([]groupranking.Attribute{
+		{Name: "fitness_score", Kind: groupranking.EqualTo}, // role has a physical profile target
+		{Name: "resting_heart_rate", Kind: groupranking.EqualTo},
+		{Name: "years_experience", Kind: groupranking.GreaterThan},
+		{Name: "certifications", Kind: groupranking.GreaterThan},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	employer := groupranking.Criterion{
+		Values:  []int64{75, 60, 0, 0},
+		Weights: []int64{6, 3, 5, 2},
+	}
+	applicants := []string{"ana", "ben", "cho", "dee", "eli", "fay"}
+	profiles := []groupranking.Profile{
+		{Values: []int64{78, 62, 9, 4}},
+		{Values: []int64{50, 80, 15, 6}},
+		{Values: []int64{74, 59, 6, 3}},
+		{Values: []int64{76, 61, 12, 5}},
+		{Values: []int64{90, 45, 3, 1}},
+		{Values: []int64{72, 65, 8, 2}},
+	}
+
+	const shortlist = 3
+	res, err := groupranking.Rank(q, employer, profiles, groupranking.Options{
+		K: shortlist, D1: 7, D2: 3, H: 7, Seed: "recruiting", GroupName: "toy-dl-256",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Recruiting round: %d applicants, shortlist of %d\n\n", len(applicants), shortlist)
+	for i, name := range applicants {
+		note := "health data stays private"
+		if res.Ranks[i] <= shortlist {
+			note = "shortlisted, profile disclosed"
+		}
+		fmt.Printf("  %-4s rank %d — %s\n", name, res.Ranks[i], note)
+	}
+
+	// Part 2: the shortlisted candidates rank salary expectations with
+	// the standalone unlinkable sort. Everyone learns only their own
+	// position; the employer sees none of the numbers.
+	expectations := []uint64{96_000, 84_500, 102_000}
+	ranks, err := groupranking.UnlinkableSort(expectations, groupranking.SortOptions{Seed: "salaries", GroupName: "toy-dl-256"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nShortlist salary-expectation ranking (self-knowledge only):")
+	shortNames := make([]string, 0, shortlist)
+	for i, name := range applicants {
+		if res.Ranks[i] <= shortlist {
+			shortNames = append(shortNames, name)
+		}
+	}
+	for i, r := range ranks {
+		fmt.Printf("  candidate %s: my expectation is the #%d highest (nobody else knows it)\n", shortNames[i], r)
+	}
+}

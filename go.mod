@@ -1,0 +1,3 @@
+module groupranking
+
+go 1.22

@@ -1,0 +1,202 @@
+// Package groupranking is a from-scratch Go implementation of the
+// privacy-preserving group-ranking framework of Li, Zhao, Xue and Silva
+// (IEEE ICDCS 2012): an initiator and n participants jointly rank the
+// participants by a private gain function without revealing private
+// vectors or gain values, and — when at least two participants are
+// honest — without letting up to n−2 colluders link a gain to its
+// owner's identity.
+//
+// The package exposes three layers:
+//
+//   - Rank: the complete three-phase framework (secure gain computation
+//     via a masked two-party dot product, identity-unlinkable multiparty
+//     comparison over exponent ElGamal, top-k ranking submission with
+//     over-claim detection).
+//   - UnlinkableSort: the paper's core contribution as a standalone
+//     primitive — n parties each hold one value and each learns only its
+//     own rank.
+//   - The secret-sharing baseline (Batcher sorting network over
+//     Shamir-shared comparisons) selectable via Options.Sorter, used by
+//     the paper's evaluation as the comparison point.
+//
+// All parties run as goroutines over an instrumented in-memory secure
+// channel fabric; Result carries the transport statistics the
+// benchmarks and the network simulation build on. The implementation is
+// honest-but-curious and not hardened against side channels; see
+// README.md.
+package groupranking
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+
+	"groupranking/internal/core"
+	"groupranking/internal/group"
+	"groupranking/internal/workload"
+)
+
+// Attribute kinds (Section III-A of the paper).
+const (
+	// EqualTo attributes score best near the criterion value.
+	EqualTo = workload.EqualTo
+	// GreaterThan attributes score best above the criterion value.
+	GreaterThan = workload.GreaterThan
+)
+
+// Attribute names one questionnaire dimension.
+type Attribute = workload.Attribute
+
+// Questionnaire is the published attribute-name vector: equal-to
+// attributes first, then greater-than attributes.
+type Questionnaire = workload.Questionnaire
+
+// Criterion is the initiator's private criterion and weight vectors.
+type Criterion = workload.Criterion
+
+// Profile is one participant's private information vector.
+type Profile = workload.Profile
+
+// Submission is a top-k participant's disclosure to the initiator.
+type Submission = core.Submission
+
+// NewQuestionnaire validates attribute ordering and builds a
+// questionnaire.
+func NewQuestionnaire(attrs []Attribute) (*Questionnaire, error) {
+	return workload.NewQuestionnaire(attrs)
+}
+
+// Sorter selects the phase-2 ranking protocol.
+type Sorter = core.Sorter
+
+// Sorter values.
+const (
+	// Unlinkable is the paper's identity-unlinkable sorting protocol
+	// (default).
+	Unlinkable = core.SorterUnlinkable
+	// SecretSharing is the Jónsson-style baseline used for comparison.
+	SecretSharing = core.SorterSecretSharing
+)
+
+// Options tunes a framework run. The zero value gives the paper's
+// defaults: secp160r1, d1=15, d2=10, h=15, k=3, the unlinkable sorter
+// and fresh random seeds.
+type Options struct {
+	// GroupName picks the DDH group: one of modp-1024, modp-2048,
+	// modp-3072, secp160r1, secp224r1, secp256r1. Default secp160r1.
+	GroupName string
+	// K is the top-k cut (default 3, capped at n).
+	K int
+	// D1, D2, H are the attribute/weight/mask bit widths
+	// (defaults 15/10/15).
+	D1, D2, H int
+	// Sorter selects the phase-2 protocol (default Unlinkable).
+	Sorter Sorter
+	// Seed makes the run deterministic; empty draws a fresh random seed.
+	Seed string
+	// SkipProofs disables the key-knowledge proofs (benchmark-only; a
+	// real deployment must keep them).
+	SkipProofs bool
+	// ProveDecryption enables the decryption-integrity extension: every
+	// chain hop commits to its output and proves each key-layer strip
+	// with a Chaum–Pedersen transcript, verified by the next hop. It
+	// roughly quintuples comparison-phase traffic and catches wrong-key
+	// decryption, a step beyond the paper's honest-but-curious model.
+	ProveDecryption bool
+}
+
+func (o Options) withDefaults(n int) (Options, error) {
+	if o.GroupName == "" {
+		o.GroupName = "secp160r1"
+	}
+	if o.K == 0 {
+		o.K = 3
+	}
+	if o.K > n {
+		o.K = n
+	}
+	if o.D1 == 0 {
+		o.D1 = 15
+	}
+	if o.D2 == 0 {
+		o.D2 = 10
+	}
+	if o.H == 0 {
+		o.H = 15
+	}
+	if o.Seed == "" {
+		var raw [16]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return o, fmt.Errorf("groupranking: drawing seed: %w", err)
+		}
+		o.Seed = hex.EncodeToString(raw[:])
+	}
+	return o, nil
+}
+
+// Result is the outcome of a framework run as seen by the simulation
+// harness (which plays every role and may therefore report all ranks).
+type Result struct {
+	// Ranks holds each participant's rank, 1 = best; ties share a rank.
+	Ranks []int
+	// Submissions are the top-k disclosures the initiator received, in
+	// rank order, with the initiator's recomputed gains.
+	Submissions []Submission
+	// Suspicious lists participants whose claimed rank contradicts the
+	// recomputed gain (over-claim detection).
+	Suspicious []int
+	// BytesOnWire is the total traffic across all parties.
+	BytesOnWire int64
+	// Rounds is the number of distinct communication rounds used.
+	Rounds int
+}
+
+// Rank executes the full privacy-preserving group-ranking framework
+// in-process: the initiator holds the criterion, each participant one
+// profile. It returns every participant's rank and the initiator's view
+// of the top-k submissions.
+func Rank(q *Questionnaire, criterion Criterion, profiles []Profile, opts Options) (*Result, error) {
+	o, err := opts.withDefaults(len(profiles))
+	if err != nil {
+		return nil, err
+	}
+	g, err := group.ByName(o.GroupName)
+	if err != nil {
+		return nil, err
+	}
+	params := core.Params{
+		N: len(profiles), M: q.M(), T: q.T(),
+		D1: o.D1, D2: o.D2, H: o.H, K: o.K,
+		Group: g, Sorter: o.Sorter, SkipProofs: o.SkipProofs,
+		ProveDecryption: o.ProveDecryption,
+	}
+	res, fab, err := core.Run(params, core.Inputs{
+		Questionnaire: q,
+		Criterion:     criterion,
+		Profiles:      profiles,
+	}, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	stats := fab.Stats()
+	return &Result{
+		Ranks:       res.Ranks,
+		Submissions: res.Submissions,
+		Suspicious:  res.Suspicious,
+		BytesOnWire: stats.TotalBytes(),
+		Rounds:      stats.DistinctRounds,
+	}, nil
+}
+
+// ExpectedRanks computes the ground-truth ranking from plaintext gains.
+// It exists for tests and examples; no party of a real deployment can
+// evaluate it.
+func ExpectedRanks(q *Questionnaire, criterion Criterion, profiles []Profile) ([]int, error) {
+	return core.ExpectedRanks(q, criterion, profiles)
+}
+
+// Gain evaluates Definition 1 for one participant (plaintext helper).
+func Gain(q *Questionnaire, criterion Criterion, profile Profile) (*big.Int, error) {
+	return q.Gain(criterion, profile)
+}

@@ -1,0 +1,237 @@
+package benchtab
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// newRunner measures real primitive timings once per test binary.
+func newRunner(t *testing.T) (*Runner, *strings.Builder) {
+	t.Helper()
+	var sb strings.Builder
+	r, err := New(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, &sb
+}
+
+// parseTSV returns the numeric rows of an emitted artifact.
+func parseTSV(t *testing.T, out string) [][]float64 {
+	t.Helper()
+	var rows [][]float64
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		row := make([]float64, 0, len(fields))
+		numeric := true
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			row = append(row, v)
+		}
+		if numeric && len(row) > 1 {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func TestAllNamesEmit(t *testing.T) {
+	names := All()
+	if len(names) != 7 {
+		t.Fatalf("expected 7 artifacts, got %v", names)
+	}
+}
+
+func TestUnknownArtifactRejected(t *testing.T) {
+	r, _ := newRunner(t)
+	if err := r.Emit("fig9z", false); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	r, sb := newRunner(t)
+	if err := r.Emit("fig2a", false); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTSV(t, sb.String())
+	if len(rows) < 5 {
+		t.Fatalf("too few rows: %d", len(rows))
+	}
+	// Columns: n, ecc, dl, ss. The paper's shape: every curve increases
+	// with n; ECC below DL everywhere; SS slowest at large n.
+	for i := 1; i < len(rows); i++ {
+		for col := 1; col <= 3; col++ {
+			if rows[i][col] <= rows[i-1][col] {
+				t.Errorf("column %d not increasing at row %d", col, i)
+			}
+		}
+	}
+	for _, row := range rows {
+		if row[1] >= row[2] {
+			t.Errorf("n=%v: ECC (%v) not below DL (%v)", row[0], row[1], row[2])
+		}
+	}
+	last := rows[len(rows)-1]
+	if last[3] <= last[2] {
+		t.Errorf("at n=%v the SS baseline (%v) should be slowest (DL %v)", last[0], last[3], last[2])
+	}
+	// SS grows faster than quadratic, ours roughly quadratic: compare
+	// growth over the sweep.
+	first := rows[1] // skip n=5 where SS is still cheap
+	growSS := last[3] / first[3]
+	growECC := last[1] / first[1]
+	if growSS <= growECC {
+		t.Errorf("SS growth %.1f must exceed ECC growth %.1f", growSS, growECC)
+	}
+}
+
+func TestFig2cLinear(t *testing.T) {
+	r, sb := newRunner(t)
+	if err := r.Emit("fig2c", false); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTSV(t, sb.String())
+	if len(rows) < 4 {
+		t.Fatalf("too few rows: %d", len(rows))
+	}
+	// Linearity of the ECC column: second differences near zero.
+	for i := 2; i < len(rows); i++ {
+		d1 := rows[i-1][1] - rows[i-2][1]
+		d2 := rows[i][1] - rows[i-1][1]
+		if d1 <= 0 || d2 <= 0 {
+			t.Fatalf("ECC column not increasing")
+		}
+		ratio := d2 / d1
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("ECC growth not linear at row %d: step ratio %.3f", i, ratio)
+		}
+	}
+}
+
+func TestFig3aOrdering(t *testing.T) {
+	r, sb := newRunner(t)
+	if err := r.Emit("fig3a", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	rows := [][]string{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "security") {
+			continue
+		}
+		rows = append(rows, strings.Split(line, "\t"))
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 security levels, got %d", len(rows))
+	}
+	var prevDL float64
+	for _, row := range rows {
+		ecc, err1 := strconv.ParseFloat(row[2], 64)
+		dl, err2 := strconv.ParseFloat(row[4], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("malformed row %v", row)
+		}
+		if ecc >= dl {
+			t.Errorf("level %s: ECC %.1f not below DL %.1f", row[0], ecc, dl)
+		}
+		if dl <= prevDL {
+			t.Errorf("DL column must grow with the security level")
+		}
+		prevDL = dl
+	}
+}
+
+func TestComplexityTable(t *testing.T) {
+	r, sb := newRunner(t)
+	if err := r.Emit("table-complexity", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ours-ecc", "ours-dl", "ss-sort", "n-2 = 23", "(n-1)/2 = 12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestFig2bAnd2dEmit(t *testing.T) {
+	r, sb := newRunner(t)
+	if err := r.Emit("fig2b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Emit("fig2d", false); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTSV(t, sb.String())
+	if len(rows) < 10 {
+		t.Fatalf("expected both sweeps in the output, got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		for _, v := range row[1:] {
+			if v <= 0 {
+				t.Fatalf("non-positive estimate in %v", row)
+			}
+		}
+	}
+}
+
+func TestFig3bSmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network replay is slow in -short mode")
+	}
+	r, sb := newRunner(t)
+	if err := r.fig3b([]int{6, 12}); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTSV(t, sb.String())
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, row := range rows {
+		// ECC must be the cheapest networked framework at every n, and
+		// the byte-faithful SS variant must dominate the calibrated one.
+		if !(row[1] < row[2]) {
+			t.Errorf("n=%v: ECC %v not below DL %v", row[0], row[1], row[2])
+		}
+		if !(row[3] < row[4]) {
+			t.Errorf("n=%v: calibrated SS %v not below byte-faithful %v", row[0], row[3], row[4])
+		}
+	}
+	// Every column grows with n.
+	for col := 1; col <= 4; col++ {
+		if rows[1][col] <= rows[0][col] {
+			t.Errorf("column %d not increasing", col)
+		}
+	}
+}
+
+func TestRealCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real protocol runs are slow in -short mode")
+	}
+	r, sb := newRunner(t)
+	if err := r.realCrossCheck(); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTSV(t, sb.String())
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 cross-check rows, got %d", len(rows))
+	}
+	for _, row := range rows {
+		if row[1] <= 0 || row[2] <= 0 {
+			t.Fatalf("non-positive time in %v", row)
+		}
+	}
+}

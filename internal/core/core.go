@@ -1,0 +1,579 @@
+// Package core assembles the paper's privacy-preserving group-ranking
+// framework (Fig. 1): an initiator P₀ and n participants P₁..P_n run
+//
+//  1. secure gain computation — each participant obtains its masked
+//     partial gain β_j = ρ·p_j + ρ_j through the secure two-party
+//     dot-product protocol with the initiator;
+//  2. unlinkable gain comparison — the participants rank the β values
+//     with the identity-unlinkable multiparty sorting protocol (or, for
+//     the paper's baseline comparison, the secret-sharing sorting
+//     network);
+//  3. ranking submission — participants ranked in the top k submit their
+//     information vectors; the initiator recomputes their gains and
+//     flags inconsistent rank claims (the paper's over-claim defence).
+//
+// Every party is a goroutine over one shared transport fabric, so the
+// recorded trace covers the whole framework and can be replayed over the
+// simulated network of Fig. 3(b).
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+	"sync"
+
+	"groupranking/internal/dotprod"
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/group"
+	"groupranking/internal/ssmpc"
+	"groupranking/internal/sssort"
+	"groupranking/internal/transport"
+	"groupranking/internal/unlinksort"
+	"groupranking/internal/workload"
+)
+
+// Sorter selects the phase-2 protocol.
+type Sorter int
+
+const (
+	// SorterUnlinkable is the paper's contribution (default).
+	SorterUnlinkable Sorter = iota
+	// SorterSecretSharing is the Jónsson-style baseline: Batcher network
+	// over the SS comparison, sorted multiset opened to all participants.
+	SorterSecretSharing
+)
+
+// String implements fmt.Stringer.
+func (s Sorter) String() string {
+	switch s {
+	case SorterUnlinkable:
+		return "unlinkable"
+	case SorterSecretSharing:
+		return "secret-sharing"
+	default:
+		return fmt.Sprintf("Sorter(%d)", int(s))
+	}
+}
+
+// Params fixes a framework instance. The defaults mirror Section VII:
+// n=25, m=10, d1=15, h=15 (d2 is not stated in the paper; we use 10).
+type Params struct {
+	N  int // participants (excluding the initiator)
+	M  int // attribute dimension
+	T  int // number of "equal to" attributes (first T of M)
+	D1 int // attribute value bits
+	D2 int // weight bits
+	H  int // bits of the masking factor ρ
+	K  int // top-k cut
+
+	// Group is the DDH group for the unlinkable comparison phase.
+	Group group.Group
+	// Sorter selects the phase-2 protocol.
+	Sorter Sorter
+	// SkipProofs disables the key-knowledge proofs in phase 2
+	// (benchmark-only).
+	SkipProofs bool
+	// ProveDecryption enables the decryption-integrity extension of the
+	// phase-2 chain: hash commitments plus Chaum–Pedersen strip proofs,
+	// verified hop by hop (see internal/unlinksort).
+	ProveDecryption bool
+	// Kappa is the statistical parameter of the SS comparison
+	// (default 40).
+	Kappa int
+}
+
+// Validate checks parameter consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 2:
+		return fmt.Errorf("core: need at least two participants, got %d", p.N)
+	case p.M < 1:
+		return fmt.Errorf("core: need at least one attribute, got %d", p.M)
+	case p.T < 0 || p.T > p.M:
+		return fmt.Errorf("core: t=%d outside [0, %d]", p.T, p.M)
+	case p.D1 < 1 || p.D1 > 30:
+		return fmt.Errorf("core: d1=%d outside [1, 30]", p.D1)
+	case p.D2 < 1 || p.D2 > 30:
+		return fmt.Errorf("core: d2=%d outside [1, 30]", p.D2)
+	case p.H < 1 || p.H > 62:
+		return fmt.Errorf("core: h=%d outside [1, 62]", p.H)
+	case p.K < 1 || p.K > p.N:
+		return fmt.Errorf("core: k=%d outside [1, n=%d]", p.K, p.N)
+	case p.Group == nil:
+		return fmt.Errorf("core: missing group")
+	}
+	return nil
+}
+
+// BetaBits returns the bit width l of the masked partial gains.
+func (p Params) BetaBits() int {
+	return workload.BetaBits(p.M, p.D1, p.D2, p.H)
+}
+
+// fieldPrime derives the phase-1 dot-product field deterministically
+// from the required width, so all parties agree without negotiation.
+func (p Params) fieldPrime() (*big.Int, error) {
+	bits := p.BetaBits() + 33
+	prime, err := fixedbig.Prime(fixedbig.NewDRBG(fmt.Sprintf("groupranking-dot-field-%d", bits)), bits)
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving dot-product field: %w", err)
+	}
+	return prime, nil
+}
+
+// ssFieldPrime derives the SS baseline's field the same way.
+func (p Params) ssFieldPrime() (*big.Int, error) {
+	kappa := p.Kappa
+	if kappa <= 0 {
+		kappa = 40
+	}
+	bits := p.BetaBits() + kappa + 8
+	prime, err := fixedbig.Prime(fixedbig.NewDRBG(fmt.Sprintf("groupranking-ss-field-%d", bits)), bits)
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving SS field: %w", err)
+	}
+	return prime, nil
+}
+
+// Round tags for the shared trace.
+const (
+	roundGainRequest = 1 // participant → initiator: dot-product flow 1
+	roundGainReply   = 2 // initiator → participant: dot-product flow 2
+	// Phase 2 runs in a SubView with this offset.
+	phase2RoundOffset = 10
+	// Phase 3 submissions use a tag above any phase-2 round.
+	roundSubmission = 1 << 20
+)
+
+// Submission is what a top-k participant hands to the initiator.
+type Submission struct {
+	// Participant is the participant index (0-based within 0..n−1).
+	Participant int
+	// ClaimedRank is the rank the participant reported.
+	ClaimedRank int
+	// Profile is the submitted information vector.
+	Profile workload.Profile
+	// Gain is the initiator's recomputation from the submitted profile
+	// (Definition 1).
+	Gain *big.Int
+}
+
+// Result is the framework outcome as observed by the simulation harness.
+type Result struct {
+	// Ranks holds each participant's self-computed rank (1 = best).
+	Ranks []int
+	// Submissions are the top-k submissions in claimed-rank order.
+	Submissions []Submission
+	// Suspicious lists participants whose claimed rank is inconsistent
+	// with the gain the initiator recomputed from their submission.
+	Suspicious []int
+	// Betas exposes the masked partial gains for analysis and testing
+	// (a real deployment never pools them; the harness may).
+	Betas []*big.Int
+}
+
+// submissionMsg is the phase-3 wire format (fields exported for the
+// TCP transport's gob encoding; the type stays package-private).
+type submissionMsg struct {
+	Declined bool
+	Rank     int
+	Values   []int64
+}
+
+var _wireOnce sync.Once
+
+// RegisterWire registers every type the framework sends over a
+// serialising transport (transport.TCPFabric), including the phase-2
+// subprotocol types. Safe to call repeatedly.
+func RegisterWire() {
+	_wireOnce.Do(func() {
+		unlinksort.RegisterWire()
+		gob.Register(&dotprod.BobMessage{})
+		gob.Register(&dotprod.AliceReply{})
+		gob.Register(submissionMsg{})
+		gob.Register([]*big.Int{}) // ssmpc share batches
+	})
+}
+
+// initiatorState carries what the initiator remembers between phases.
+type initiatorState struct {
+	rho  *big.Int
+	rhoJ []*big.Int // per participant
+}
+
+// RunInitiator executes the initiator's side over the fabric (party
+// index 0 of n+1). It returns the received submissions and the flagged
+// participants.
+func RunInitiator(params Params, q *workload.Questionnaire, crit workload.Criterion, fab transport.Net, rng io.Reader) ([]Submission, []int, error) {
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	prime, err := params.fieldPrime()
+	if err != nil {
+		return nil, nil, err
+	}
+	dp := dotprod.DefaultSRange(prime)
+
+	// Step 1: pick the h-bit masking factor ρ ≥ 1 (top bit set so every
+	// ρ_j < ρ preserves the partial-gain order).
+	rhoLow, err := fixedbig.RandBits(rng, params.H-1)
+	if err != nil {
+		return nil, nil, err
+	}
+	rho := new(big.Int).SetBit(rhoLow, params.H-1, 1)
+
+	vPrime, err := q.InitiatorVector(crit, rho)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Steps 3-4: answer each participant's dot-product flow with her own
+	// random offset ρ_j.
+	st := initiatorState{rho: rho, rhoJ: make([]*big.Int, params.N)}
+	flows, err := fab.GatherAll(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j := 1; j <= params.N; j++ {
+		msg, ok := flows[j].(*dotprod.BobMessage)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: participant %d sent a malformed gain flow", j)
+		}
+		rhoJ, err := fixedbig.RandInt(rng, rho)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.rhoJ[j-1] = rhoJ
+		reply, err := dotprod.AliceRespond(dp, msg, vPrime, rhoJ)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: answering participant %d: %w", j, err)
+		}
+		if err := fab.Send(roundGainReply, 0, j, reply.WireBytes(dp), reply); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Phase 3: collect one submission or decline from every participant.
+	subs, err := fab.GatherAll(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	var submissions []Submission
+	for j := 1; j <= params.N; j++ {
+		msg, ok := subs[j].(submissionMsg)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: participant %d sent a malformed submission", j)
+		}
+		if msg.Declined {
+			continue
+		}
+		profile := workload.Profile{Values: msg.Values}
+		gain, err := q.Gain(crit, profile)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: recomputing gain of participant %d: %w", j, err)
+		}
+		submissions = append(submissions, Submission{
+			Participant: j - 1,
+			ClaimedRank: msg.Rank,
+			Profile:     profile,
+			Gain:        gain,
+		})
+	}
+	sort.Slice(submissions, func(a, b int) bool {
+		if submissions[a].ClaimedRank != submissions[b].ClaimedRank {
+			return submissions[a].ClaimedRank < submissions[b].ClaimedRank
+		}
+		return submissions[a].Participant < submissions[b].Participant
+	})
+
+	// Over-claim detection: recompute β̂ = ρ·p̂ + ρ_j from each submitted
+	// profile and flag every pair whose claimed-rank order contradicts
+	// the recomputed gain order.
+	suspicious := map[int]bool{}
+	betaHat := make([]*big.Int, len(submissions))
+	for i, s := range submissions {
+		pg, err := q.PartialGain(crit, s.Profile)
+		if err != nil {
+			return nil, nil, err
+		}
+		betaHat[i] = new(big.Int).Mul(rho, pg)
+		betaHat[i].Add(betaHat[i], st.rhoJ[s.Participant])
+	}
+	for a := range submissions {
+		for b := a + 1; b < len(submissions); b++ {
+			rankCmp := compareInt(submissions[a].ClaimedRank, submissions[b].ClaimedRank)
+			betaCmp := betaHat[b].Cmp(betaHat[a]) // descending: higher β ⇒ lower rank
+			// Inconsistent when the claimed order contradicts the
+			// recomputed order, or when two distinct β values claim the
+			// same rank (honest equal ranks only arise from equal β).
+			if (rankCmp != 0 && betaCmp != 0 && rankCmp != betaCmp) ||
+				(rankCmp == 0 && betaCmp != 0) {
+				suspicious[submissions[a].Participant] = true
+				suspicious[submissions[b].Participant] = true
+			}
+		}
+	}
+	flagged := make([]int, 0, len(suspicious))
+	for p := range suspicious {
+		flagged = append(flagged, p)
+	}
+	sort.Ints(flagged)
+	return submissions, flagged, nil
+}
+
+// ParticipantOutput is what RunParticipant reports to the harness.
+type ParticipantOutput struct {
+	// Rank is the participant's self-computed rank (1 = best).
+	Rank int
+	// Beta is the masked partial gain (unsigned l-bit form).
+	Beta *big.Int
+}
+
+// RunParticipant executes participant j's side (fabric index j with
+// 1 ≤ j ≤ n; index 0 is the initiator).
+func RunParticipant(params Params, j int, q *workload.Questionnaire, profile workload.Profile, fab transport.Net, rng io.Reader) (ParticipantOutput, error) {
+	var out ParticipantOutput
+	if err := params.Validate(); err != nil {
+		return out, err
+	}
+	if j < 1 || j > params.N {
+		return out, fmt.Errorf("core: participant index %d outside [1, %d]", j, params.N)
+	}
+	prime, err := params.fieldPrime()
+	if err != nil {
+		return out, err
+	}
+	dp := dotprod.DefaultSRange(prime)
+	l := params.BetaBits()
+
+	// Phase 1: dot product with the initiator, recover β.
+	wPrime, err := q.ParticipantVector(profile)
+	if err != nil {
+		return out, err
+	}
+	bob, flow, err := dotprod.NewBob(dp, wPrime, rng)
+	if err != nil {
+		return out, err
+	}
+	if err := fab.Send(roundGainRequest, j, 0, flow.WireBytes(dp), flow); err != nil {
+		return out, err
+	}
+	payload, err := fab.Recv(j, 0)
+	if err != nil {
+		return out, err
+	}
+	reply, ok := payload.(*dotprod.AliceReply)
+	if !ok {
+		return out, fmt.Errorf("core: initiator sent a malformed gain reply")
+	}
+	betaField, err := bob.Finish(reply)
+	if err != nil {
+		return out, err
+	}
+	betaSigned := fixedbig.CentredMod(betaField, prime)
+	betaU, err := fixedbig.ToUnsigned(betaSigned, l)
+	if err != nil {
+		return out, fmt.Errorf("core: masked gain exceeds the configured width: %w", err)
+	}
+	out.Beta = betaU
+
+	// Phase 2 among the participants only.
+	members := make([]int, params.N)
+	for i := range members {
+		members[i] = i + 1
+	}
+	sub, err := transport.NewSubView(fab, members, phase2RoundOffset)
+	if err != nil {
+		return out, err
+	}
+	switch params.Sorter {
+	case SorterUnlinkable:
+		res, err := unlinksort.Party(unlinksort.Config{
+			Group:           params.Group,
+			L:               l,
+			SkipProofs:      params.SkipProofs,
+			ProveDecryption: params.ProveDecryption,
+		}, j-1, sub, betaU, rng)
+		if err != nil {
+			return out, err
+		}
+		out.Rank = res.Rank
+	case SorterSecretSharing:
+		rank, err := ssBaselineRank(params, j-1, sub, betaU, rng)
+		if err != nil {
+			return out, err
+		}
+		out.Rank = rank
+	default:
+		return out, fmt.Errorf("core: unknown sorter %v", params.Sorter)
+	}
+
+	// Phase 3: submit if ranked in the top k, decline otherwise.
+	msg := submissionMsg{Declined: true}
+	bytes := 1
+	if out.Rank <= params.K {
+		msg = submissionMsg{Rank: out.Rank, Values: append([]int64(nil), profile.Values...)}
+		bytes = 8 * (1 + len(msg.Values))
+	}
+	if err := fab.Send(roundSubmission, j, 0, bytes, msg); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// ssBaselineRank runs the baseline phase 2: all β values are secret
+// shared, sorted with the Batcher network, opened, and each participant
+// locates her own β in the sorted sequence.
+func ssBaselineRank(params Params, me int, net transport.Net, betaU *big.Int, rng io.Reader) (int, error) {
+	prime, err := params.ssFieldPrime()
+	if err != nil {
+		return 0, err
+	}
+	cfg := ssmpc.Config{
+		N:      params.N,
+		Degree: (params.N - 1) / 2, // the baseline's maximum resistance
+		P:      prime,
+		Kappa:  params.Kappa,
+	}
+	eng, err := ssmpc.NewEngine(cfg, me, net, rng)
+	if err != nil {
+		return 0, err
+	}
+	shares := make([]ssmpc.Share, params.N)
+	for dealer := 0; dealer < params.N; dealer++ {
+		var secret *big.Int
+		if dealer == me {
+			secret = betaU
+		}
+		if shares[dealer], err = eng.Share(dealer, secret); err != nil {
+			return 0, err
+		}
+	}
+	opened, err := sssort.SortOpen(eng, shares, params.BetaBits())
+	if err != nil {
+		return 0, err
+	}
+	return sssort.RankDescending(opened, betaU), nil
+}
+
+// Inputs bundles all private inputs for an in-process run.
+type Inputs struct {
+	Questionnaire *workload.Questionnaire
+	Criterion     workload.Criterion
+	Profiles      []workload.Profile
+}
+
+// Run executes the whole framework in-process: the initiator and all
+// participants as goroutines over one fabric. seed derives each party's
+// deterministic randomness; pass distinct seeds for independent runs.
+func Run(params Params, in Inputs, seed string, opts ...transport.Option) (*Result, *transport.Fabric, error) {
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.Questionnaire == nil {
+		return nil, nil, fmt.Errorf("core: missing questionnaire")
+	}
+	if len(in.Profiles) != params.N {
+		return nil, nil, fmt.Errorf("core: %d profiles for %d participants", len(in.Profiles), params.N)
+	}
+	if in.Questionnaire.M() != params.M || in.Questionnaire.T() != params.T {
+		return nil, nil, fmt.Errorf("core: questionnaire shape (m=%d, t=%d) disagrees with params (m=%d, t=%d)",
+			in.Questionnaire.M(), in.Questionnaire.T(), params.M, params.T)
+	}
+	fab, err := transport.New(params.N+1, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	type initOut struct {
+		subs    []Submission
+		flagged []int
+		err     error
+	}
+	initCh := make(chan initOut, 1)
+	go func() {
+		rng := fixedbig.NewDRBG(seed + "-initiator")
+		subs, flagged, err := RunInitiator(params, in.Questionnaire, in.Criterion, fab, rng)
+		initCh <- initOut{subs: subs, flagged: flagged, err: err}
+	}()
+
+	type partOut struct {
+		j   int
+		out ParticipantOutput
+		err error
+	}
+	partCh := make(chan partOut, params.N)
+	for j := 1; j <= params.N; j++ {
+		j := j
+		go func() {
+			rng := fixedbig.NewDRBG(fmt.Sprintf("%s-participant-%d", seed, j))
+			out, err := RunParticipant(params, j, in.Questionnaire, in.Profiles[j-1], fab, rng)
+			partCh <- partOut{j: j, out: out, err: err}
+		}()
+	}
+
+	result := &Result{
+		Ranks: make([]int, params.N),
+		Betas: make([]*big.Int, params.N),
+	}
+	var firstErr error
+	for i := 0; i < params.N; i++ {
+		po := <-partCh
+		if po.err != nil && firstErr == nil {
+			firstErr = po.err
+		}
+		if po.err == nil {
+			result.Ranks[po.j-1] = po.out.Rank
+			result.Betas[po.j-1] = po.out.Beta
+		}
+	}
+	io := <-initCh
+	if io.err != nil && firstErr == nil {
+		firstErr = io.err
+	}
+	if firstErr != nil {
+		return nil, fab, firstErr
+	}
+	result.Submissions = io.subs
+	result.Suspicious = io.flagged
+	return result, fab, nil
+}
+
+// ExpectedRanks computes the ground-truth descending ranks from the
+// plaintext gains (test and example helper; a deployment cannot do
+// this).
+func ExpectedRanks(q *workload.Questionnaire, crit workload.Criterion, profiles []workload.Profile) ([]int, error) {
+	gains := make([]*big.Int, len(profiles))
+	for i, p := range profiles {
+		g, err := q.Gain(crit, p)
+		if err != nil {
+			return nil, err
+		}
+		gains[i] = g
+	}
+	ranks := make([]int, len(profiles))
+	for i := range gains {
+		rank := 1
+		for j := range gains {
+			if gains[j].Cmp(gains[i]) > 0 {
+				rank++
+			}
+		}
+		ranks[i] = rank
+	}
+	return ranks, nil
+}
+
+func compareInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+	"time"
+
+	"groupranking/internal/dotprod"
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/transport"
+)
+
+// These tests pin down the framework's behaviour against malformed
+// messages: every protocol role must reject garbage with a descriptive
+// error instead of panicking or deadlocking (the fabric timeout converts
+// the resulting stalls of other parties into clean errors).
+
+func TestInitiatorRejectsMalformedGainFlow(t *testing.T) {
+	params := smallParams(t, 2)
+	q := testInputs(t, params, "mal-flow").Questionnaire
+	crit := testInputs(t, params, "mal-flow").Criterion
+	fab, err := transport.New(params.N+1, transport.WithRecvTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		rng := fixedbig.NewDRBG("mal-flow-init")
+		_, _, err := RunInitiator(params, q, crit, fab, rng)
+		done <- err
+	}()
+	// Participant 1 sends garbage instead of a dot-product flow;
+	// participant 2 sends nothing (timeout covers it).
+	if err := fab.Send(roundGainRequest, 1, 0, 4, "garbage"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Send(roundGainRequest, 2, 0, 4, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("initiator accepted a malformed gain flow")
+	}
+}
+
+func TestParticipantRejectsMalformedGainReply(t *testing.T) {
+	params := smallParams(t, 2)
+	in := testInputs(t, params, "mal-reply")
+	fab, err := transport.New(params.N+1, transport.WithRecvTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		rng := fixedbig.NewDRBG("mal-reply-part")
+		_, err := RunParticipant(params, 1, in.Questionnaire, in.Profiles[0], fab, rng)
+		done <- err
+	}()
+	// Play a fake initiator: absorb the flow, answer with garbage.
+	if _, err := fab.Recv(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Send(roundGainReply, 0, 1, 4, "not a reply"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("participant accepted a malformed gain reply")
+	}
+}
+
+func TestInitiatorRejectsMalformedSubmission(t *testing.T) {
+	params := smallParams(t, 2)
+	in := testInputs(t, params, "mal-sub")
+	fab, err := transport.New(params.N+1, transport.WithRecvTimeout(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime, err := params.fieldPrime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := dotprod.DefaultSRange(prime)
+	done := make(chan error, 1)
+	go func() {
+		rng := fixedbig.NewDRBG("mal-sub-init")
+		_, _, err := RunInitiator(params, in.Questionnaire, in.Criterion, fab, rng)
+		done <- err
+	}()
+	// Both participants run an honest phase 1 and then submit garbage
+	// instead of a submissionMsg.
+	for j := 1; j <= params.N; j++ {
+		j := j
+		go func() {
+			rng := fixedbig.NewDRBG(fmt.Sprintf("mal-sub-%d", j))
+			w, err := in.Questionnaire.ParticipantVector(in.Profiles[j-1])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bob, flow, err := dotprod.NewBob(dp, w, rng)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fab.Send(roundGainRequest, j, 0, 8, flow); err != nil {
+				t.Error(err)
+				return
+			}
+			payload, err := fab.Recv(j, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := bob.Finish(payload.(*dotprod.AliceReply)); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fab.Send(roundSubmission, j, 0, 4, big.NewInt(99)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	if err := <-done; err == nil {
+		t.Fatal("initiator accepted a malformed submission")
+	}
+}
+
+func TestInitiatorRejectsSubmissionWithWrongDimensions(t *testing.T) {
+	params := smallParams(t, 2)
+	in := testInputs(t, params, "mal-dim")
+	fab, err := transport.New(params.N+1, transport.WithRecvTimeout(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime, err := params.fieldPrime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := dotprod.DefaultSRange(prime)
+	done := make(chan error, 1)
+	go func() {
+		rng := fixedbig.NewDRBG("mal-dim-init")
+		_, _, err := RunInitiator(params, in.Questionnaire, in.Criterion, fab, rng)
+		done <- err
+	}()
+	for j := 1; j <= params.N; j++ {
+		j := j
+		go func() {
+			rng := fixedbig.NewDRBG(fmt.Sprintf("mal-dim-%d", j))
+			w, err := in.Questionnaire.ParticipantVector(in.Profiles[j-1])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bob, flow, err := dotprod.NewBob(dp, w, rng)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fab.Send(roundGainRequest, j, 0, 8, flow); err != nil {
+				t.Error(err)
+				return
+			}
+			payload, err := fab.Recv(j, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := bob.Finish(payload.(*dotprod.AliceReply)); err != nil {
+				t.Error(err)
+				return
+			}
+			// A submission whose profile has the wrong dimension must be
+			// rejected when the initiator recomputes the gain.
+			msg := submissionMsg{Rank: 1, Values: []int64{1}}
+			if err := fab.Send(roundSubmission, j, 0, 16, msg); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	if err := <-done; err == nil {
+		t.Fatal("initiator accepted a submission with wrong dimensions")
+	}
+}
+
+func TestRunParticipantIndexValidation(t *testing.T) {
+	params := smallParams(t, 2)
+	in := testInputs(t, params, "idx")
+	fab, err := transport.New(params.N + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := fixedbig.NewDRBG("idx")
+	if _, err := RunParticipant(params, 0, in.Questionnaire, in.Profiles[0], fab, rng); err == nil {
+		t.Error("participant index 0 (the initiator) accepted")
+	}
+	if _, err := RunParticipant(params, params.N+1, in.Questionnaire, in.Profiles[0], fab, rng); err == nil {
+		t.Error("out-of-range participant index accepted")
+	}
+}

@@ -1,0 +1,308 @@
+// Package dotprod implements the secure two-party dot-product protocol of
+// Ioannidis, Grama and Atallah (Section IV-A of the paper). Bob holds a
+// (d−1)-dimensional vector w; Alice holds a (d−1)-dimensional vector v and
+// a private offset α. At the end Bob learns w·v + α and Alice learns
+// nothing. Privacy of both inputs rests on the masked linear system being
+// underdetermined: Alice sees QX, c' and g, which admit many consistent
+// (w, Q, X) assignments; Bob sees a and h, which are masked by α.
+//
+// The protocol runs over a prime field Z_P supplied by the caller; all
+// published quantities are field elements, so partial information does not
+// leak through magnitudes. The framework (Section V) instantiates Bob as a
+// participant with w = [vg, ve*ve, ve, 1] and Alice as the initiator with
+// v = [ρ·wg, −ρ·we, 2ρ(we*ve₀)] and α = ρ_j, making Bob's output the
+// masked partial gain β = ρ·p + ρ_j.
+package dotprod
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"groupranking/internal/fixedbig"
+)
+
+// Params fixes the field and the random matrix size range.
+type Params struct {
+	// P is the field modulus; it must be prime and comfortably larger
+	// than any dot product the caller can produce.
+	P *big.Int
+	// SMin and SMax bound the random matrix dimension s (inclusive).
+	// The paper notes s need not be large; defaults are 5..10.
+	SMin, SMax int
+}
+
+// DefaultSRange returns params with the default s range over field P.
+func DefaultSRange(p *big.Int) Params { return Params{P: p, SMin: 5, SMax: 10} }
+
+func (p Params) validate() error {
+	if p.P == nil || p.P.Sign() <= 0 {
+		return fmt.Errorf("dotprod: field modulus missing")
+	}
+	if p.SMin < 2 || p.SMax < p.SMin {
+		return fmt.Errorf("dotprod: invalid s range [%d, %d]", p.SMin, p.SMax)
+	}
+	return nil
+}
+
+// BobMessage is the first flow, Bob → Alice.
+type BobMessage struct {
+	QX     [][]*big.Int // s×d masked matrix
+	CPrime []*big.Int   // c + R1·R2·f, d entries
+	G      []*big.Int   // R1·R3·f, d entries
+}
+
+// AliceReply is the second flow, Alice → Bob.
+type AliceReply struct {
+	A *big.Int
+	H *big.Int
+}
+
+// Bob holds Bob's secret protocol state between the two flows.
+type Bob struct {
+	params Params
+	b      *big.Int // Σ_i Q_{ir}
+	r2, r3 *big.Int
+	done   bool
+}
+
+// FieldBytes is the per-element wire size for the cost model.
+func (p Params) FieldBytes() int { return (p.P.BitLen() + 7) / 8 }
+
+// WireBytes returns the byte size of the Bob→Alice flow for a message
+// with the given matrix dimensions.
+func (m *BobMessage) WireBytes(p Params) int {
+	s := len(m.QX)
+	d := 0
+	if s > 0 {
+		d = len(m.QX[0])
+	}
+	return (s*d + 2*len(m.CPrime)) * p.FieldBytes()
+}
+
+// WireBytes returns the byte size of the Alice→Bob flow.
+func (r *AliceReply) WireBytes(p Params) int { return 2 * p.FieldBytes() }
+
+// NewBob starts the protocol for Bob's vector w, returning his retained
+// state and the message for Alice.
+func NewBob(params Params, w []*big.Int, rng io.Reader) (*Bob, *BobMessage, error) {
+	if err := params.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(w) == 0 {
+		return nil, nil, fmt.Errorf("dotprod: empty input vector")
+	}
+	P := params.P
+	d := len(w) + 1
+
+	span := big.NewInt(int64(params.SMax - params.SMin + 1))
+	sBig, err := fixedbig.RandInt(rng, span)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := params.SMin + int(sBig.Int64())
+
+	rBig, err := fixedbig.RandInt(rng, big.NewInt(int64(s)))
+	if err != nil {
+		return nil, nil, err
+	}
+	r := int(rBig.Int64())
+
+	// X: s×d, row r is [w, 1], the rest uniform.
+	x := make([][]*big.Int, s)
+	for i := range x {
+		x[i] = make([]*big.Int, d)
+		if i == r {
+			for j, wj := range w {
+				x[i][j] = new(big.Int).Mod(wj, P)
+			}
+			x[i][d-1] = big.NewInt(1)
+			continue
+		}
+		for j := range x[i] {
+			if x[i][j], err = fixedbig.RandInt(rng, P); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Q: s×s uniform, resampled until column r has a non-zero sum so the
+	// final division is well defined.
+	var q [][]*big.Int
+	b := new(big.Int)
+	for b.Sign() == 0 {
+		q = make([][]*big.Int, s)
+		for i := range q {
+			q[i] = make([]*big.Int, s)
+			for j := range q[i] {
+				if q[i][j], err = fixedbig.RandInt(rng, P); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		b.SetInt64(0)
+		for i := 0; i < s; i++ {
+			b.Add(b, q[i][r])
+		}
+		b.Mod(b, P)
+	}
+
+	// c = Σ_{k≠r} colsum_k · x_k, where colsum_k = Σ_i Q_{ik}.
+	c := zeroVec(d)
+	for k := 0; k < s; k++ {
+		if k == r {
+			continue
+		}
+		colsum := new(big.Int)
+		for i := 0; i < s; i++ {
+			colsum.Add(colsum, q[i][k])
+		}
+		colsum.Mod(colsum, P)
+		for j := 0; j < d; j++ {
+			c[j].Add(c[j], new(big.Int).Mul(colsum, x[k][j]))
+			c[j].Mod(c[j], P)
+		}
+	}
+
+	// Masks.
+	r1, err := fixedbig.RandNonZero(rng, P)
+	if err != nil {
+		return nil, nil, err
+	}
+	r2, err := fixedbig.RandNonZero(rng, P)
+	if err != nil {
+		return nil, nil, err
+	}
+	r3, err := fixedbig.RandNonZero(rng, P)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := make([]*big.Int, d)
+	for j := range f {
+		if f[j], err = fixedbig.RandInt(rng, P); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	r1r2 := new(big.Int).Mul(r1, r2)
+	r1r2.Mod(r1r2, P)
+	r1r3 := new(big.Int).Mul(r1, r3)
+	r1r3.Mod(r1r3, P)
+	cPrime := make([]*big.Int, d)
+	g := make([]*big.Int, d)
+	for j := 0; j < d; j++ {
+		cPrime[j] = new(big.Int).Mul(r1r2, f[j])
+		cPrime[j].Add(cPrime[j], c[j])
+		cPrime[j].Mod(cPrime[j], P)
+		g[j] = new(big.Int).Mul(r1r3, f[j])
+		g[j].Mod(g[j], P)
+	}
+
+	// QX: s×d product.
+	qx := make([][]*big.Int, s)
+	for i := 0; i < s; i++ {
+		qx[i] = make([]*big.Int, d)
+		for j := 0; j < d; j++ {
+			acc := new(big.Int)
+			for k := 0; k < s; k++ {
+				acc.Add(acc, new(big.Int).Mul(q[i][k], x[k][j]))
+			}
+			qx[i][j] = acc.Mod(acc, P)
+		}
+	}
+
+	return &Bob{params: params, b: b, r2: r2, r3: r3},
+		&BobMessage{QX: qx, CPrime: cPrime, G: g}, nil
+}
+
+// AliceRespond computes Alice's reply for her vector v and offset alpha.
+// len(v) must equal Bob's input length; alpha occupies the appended
+// dimension (the framework's ρ_j).
+func AliceRespond(params Params, msg *BobMessage, v []*big.Int, alpha *big.Int) (*AliceReply, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	P := params.P
+	s := len(msg.QX)
+	if s == 0 {
+		return nil, fmt.Errorf("dotprod: empty QX matrix")
+	}
+	d := len(msg.QX[0])
+	if len(v)+1 != d || len(msg.CPrime) != d || len(msg.G) != d {
+		return nil, fmt.Errorf("dotprod: dimension mismatch (d=%d, len(v)=%d, len(c')=%d, len(g)=%d)",
+			d, len(v), len(msg.CPrime), len(msg.G))
+	}
+
+	vPrime := make([]*big.Int, d)
+	for j, vj := range v {
+		vPrime[j] = new(big.Int).Mod(vj, P)
+	}
+	vPrime[d-1] = new(big.Int).Mod(alpha, P)
+
+	// z = Σ_i (QX·v')_i.
+	z := new(big.Int)
+	for i := 0; i < s; i++ {
+		for j := 0; j < d; j++ {
+			z.Add(z, new(big.Int).Mul(msg.QX[i][j], vPrime[j]))
+		}
+	}
+	z.Mod(z, P)
+
+	a := new(big.Int).Sub(z, dot(msg.CPrime, vPrime, P))
+	a.Mod(a, P)
+	h := dot(msg.G, vPrime, P)
+	return &AliceReply{A: a, H: h}, nil
+}
+
+// Finish recovers Bob's output β = w·v + α mod P from Alice's reply.
+// A Bob state is single use.
+func (bob *Bob) Finish(reply *AliceReply) (*big.Int, error) {
+	if bob.done {
+		return nil, fmt.Errorf("dotprod: Finish called twice")
+	}
+	bob.done = true
+	P := bob.params.P
+	// β = (a + h·R2/R3) / b.
+	r3inv := new(big.Int).ModInverse(bob.r3, P)
+	if r3inv == nil {
+		return nil, fmt.Errorf("dotprod: R3 not invertible")
+	}
+	binv := new(big.Int).ModInverse(bob.b, P)
+	if binv == nil {
+		return nil, fmt.Errorf("dotprod: b not invertible")
+	}
+	beta := new(big.Int).Mul(reply.H, bob.r2)
+	beta.Mul(beta, r3inv)
+	beta.Add(beta, reply.A)
+	beta.Mul(beta, binv)
+	return beta.Mod(beta, P), nil
+}
+
+// Compute runs the whole protocol in-process: returns w·v + α mod P.
+func Compute(params Params, w, v []*big.Int, alpha *big.Int, rng io.Reader) (*big.Int, error) {
+	bob, msg, err := NewBob(params, w, rng)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := AliceRespond(params, msg, v, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return bob.Finish(reply)
+}
+
+func zeroVec(d int) []*big.Int {
+	v := make([]*big.Int, d)
+	for i := range v {
+		v[i] = new(big.Int)
+	}
+	return v
+}
+
+func dot(a, b []*big.Int, p *big.Int) *big.Int {
+	acc := new(big.Int)
+	for i := range a {
+		acc.Add(acc, new(big.Int).Mul(a[i], b[i]))
+	}
+	return acc.Mod(acc, p)
+}

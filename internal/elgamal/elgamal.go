@@ -1,0 +1,194 @@
+// Package elgamal implements the ElGamal cryptosystem over any
+// group.Group, in both its standard form and the paper's "modified"
+// exponent form E(m) = (g^m·y^r, g^r), which is additively homomorphic
+// (Section IV-D). It also provides the distributed-key operations the
+// unlinkable comparison phase relies on: joint public keys, layered
+// partial decryption, ciphertext re-randomisation and exponent blinding
+// (c, c') → (c^r, c'^r), which randomises a non-zero plaintext exponent
+// while fixing zero.
+package elgamal
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"groupranking/internal/group"
+)
+
+// Ciphertext is an ElGamal ciphertext (C, C1) with C = M·y^r (or
+// g^m·y^r in exponent form) and C1 = g^r.
+type Ciphertext struct {
+	C  group.Element
+	C1 group.Element
+}
+
+// KeyPair holds one party's ElGamal key share.
+type KeyPair struct {
+	X *big.Int      // private key
+	Y group.Element // public key g^x
+}
+
+// Scheme binds the cryptosystem to a concrete group.
+type Scheme struct {
+	g group.Group
+}
+
+// NewScheme returns an ElGamal scheme over g.
+func NewScheme(g group.Group) *Scheme { return &Scheme{g: g} }
+
+// Group exposes the underlying group.
+func (s *Scheme) Group() group.Group { return s.g }
+
+// GenerateKey samples a fresh key pair.
+func (s *Scheme) GenerateKey(rng io.Reader) (*KeyPair, error) {
+	x, err := s.g.RandomScalar(rng)
+	if err != nil {
+		return nil, fmt.Errorf("elgamal: generating key: %w", err)
+	}
+	return &KeyPair{X: x, Y: group.ExpGen(s.g, x)}, nil
+}
+
+// JointPublicKey combines the parties' public key shares into the joint
+// key y = Π y_i whose private key x = Σ x_i is known to nobody.
+func (s *Scheme) JointPublicKey(shares []group.Element) group.Element {
+	y := s.g.Identity()
+	for _, yi := range shares {
+		y = s.g.Op(y, yi)
+	}
+	return y
+}
+
+// Encrypt is standard ElGamal encryption of a group element M.
+func (s *Scheme) Encrypt(pk group.Element, m group.Element, rng io.Reader) (Ciphertext, error) {
+	r, err := s.g.RandomScalar(rng)
+	if err != nil {
+		return Ciphertext{}, fmt.Errorf("elgamal: encrypting: %w", err)
+	}
+	return Ciphertext{
+		C:  s.g.Op(m, s.g.Exp(pk, r)),
+		C1: group.ExpGen(s.g, r),
+	}, nil
+}
+
+// Decrypt is standard ElGamal decryption: M = C / C1^x.
+func (s *Scheme) Decrypt(x *big.Int, ct Ciphertext) group.Element {
+	return s.g.Op(ct.C, s.g.Inv(s.g.Exp(ct.C1, x)))
+}
+
+// EncryptExp encrypts an integer in the exponent: E(m) = (g^m·y^r, g^r).
+// Decryption recovers g^m only; the framework never needs m itself, only
+// whether m = 0 (Section IV-D).
+func (s *Scheme) EncryptExp(pk group.Element, m *big.Int, rng io.Reader) (Ciphertext, error) {
+	return s.Encrypt(pk, group.ExpGen(s.g, m), rng)
+}
+
+// Add homomorphically adds the plaintext exponents of two ciphertexts.
+func (s *Scheme) Add(a, b Ciphertext) Ciphertext {
+	return Ciphertext{C: s.g.Op(a.C, b.C), C1: s.g.Op(a.C1, b.C1)}
+}
+
+// Neg negates the plaintext exponent.
+func (s *Scheme) Neg(a Ciphertext) Ciphertext {
+	return Ciphertext{C: s.g.Inv(a.C), C1: s.g.Inv(a.C1)}
+}
+
+// Sub homomorphically subtracts plaintext exponents.
+func (s *Scheme) Sub(a, b Ciphertext) Ciphertext { return s.Add(a, s.Neg(b)) }
+
+// ScalarMul multiplies the plaintext exponent by the integer k.
+func (s *Scheme) ScalarMul(a Ciphertext, k *big.Int) Ciphertext {
+	return Ciphertext{C: s.g.Exp(a.C, k), C1: s.g.Exp(a.C1, k)}
+}
+
+// AddPlain adds a public integer to the plaintext exponent without fresh
+// randomness (the caller re-randomises separately when needed).
+func (s *Scheme) AddPlain(a Ciphertext, m *big.Int) Ciphertext {
+	return Ciphertext{C: s.g.Op(a.C, group.ExpGen(s.g, m)), C1: a.C1}
+}
+
+// ReRandomize refreshes the randomness of a ciphertext under pk by adding
+// an encryption of zero, making the result unlinkable to the input.
+func (s *Scheme) ReRandomize(pk group.Element, a Ciphertext, rng io.Reader) (Ciphertext, error) {
+	zero, err := s.EncryptExp(pk, big.NewInt(0), rng)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return s.Add(a, zero), nil
+}
+
+// ExponentBlind raises both components to a random non-zero power:
+// (c, c') → (c^r, c'^r). For an exponent ciphertext of plaintext m this
+// yields a ciphertext of r·m — identically zero stays zero, anything else
+// becomes a uniformly random non-zero exponent. This is the randomisation
+// used in step 8 of Fig. 1 to hide non-zero τ values.
+func (s *Scheme) ExponentBlind(a Ciphertext, rng io.Reader) (Ciphertext, error) {
+	r, err := s.g.RandomScalar(rng)
+	if err != nil {
+		return Ciphertext{}, fmt.Errorf("elgamal: blinding: %w", err)
+	}
+	return s.ScalarMul(a, r), nil
+}
+
+// PartialDecrypt strips one key layer: C → C / C1^x. After every holder
+// of a key share has applied it, the remaining C equals g^m.
+func (s *Scheme) PartialDecrypt(x *big.Int, a Ciphertext) Ciphertext {
+	return Ciphertext{
+		C:  s.g.Op(a.C, s.g.Inv(s.g.Exp(a.C1, x))),
+		C1: a.C1,
+	}
+}
+
+// RecoverExp decrypts an exponent ciphertext under the (possibly joint)
+// private key x, returning g^m.
+func (s *Scheme) RecoverExp(x *big.Int, a Ciphertext) group.Element {
+	return s.Decrypt(x, a)
+}
+
+// IsZero reports whether the exponent plaintext is zero, i.e. g^m = 1.
+func (s *Scheme) IsZero(x *big.Int, a Ciphertext) bool {
+	return s.g.IsIdentity(s.RecoverExp(x, a))
+}
+
+// DecryptSmall brute-forces g^m for |m| ≤ bound. It exists for tests and
+// debugging; the protocol itself only ever tests m = 0.
+func (s *Scheme) DecryptSmall(x *big.Int, a Ciphertext, bound int64) (int64, bool) {
+	gm := s.RecoverExp(x, a)
+	acc := s.g.Identity()
+	for m := int64(0); m <= bound; m++ {
+		if s.g.Equal(acc, gm) {
+			return m, true
+		}
+		acc = s.g.Op(acc, s.g.Generator())
+	}
+	acc = s.g.Inv(s.g.Generator())
+	for m := int64(-1); m >= -bound; m-- {
+		if s.g.Equal(acc, gm) {
+			return m, true
+		}
+		acc = s.g.Op(acc, s.g.Inv(s.g.Generator()))
+	}
+	return 0, false
+}
+
+// EncodedLen returns the serialised ciphertext size in bytes; it is the
+// unit the communication cost model charges per ciphertext.
+func (s *Scheme) EncodedLen() int { return 2 * s.g.ElementLen() }
+
+// Encode serialises a ciphertext as C ‖ C1. Identity components are
+// padded to the fixed element length so the framing stays uniform.
+func (s *Scheme) Encode(a Ciphertext) []byte {
+	out := make([]byte, 0, s.EncodedLen())
+	out = append(out, padTo(s.g.Encode(a.C), s.g.ElementLen())...)
+	out = append(out, padTo(s.g.Encode(a.C1), s.g.ElementLen())...)
+	return out
+}
+
+func padTo(b []byte, n int) []byte {
+	if len(b) == n {
+		return b
+	}
+	out := make([]byte, n)
+	copy(out[n-len(b):], b)
+	return out
+}

@@ -1,0 +1,395 @@
+package elgamal
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/group"
+)
+
+func testScheme(t *testing.T) (*Scheme, *fixedbig.DRBG) {
+	t.Helper()
+	g, err := group.GenerateDLGroup(128, fixedbig.NewDRBG("elgamal-group"))
+	if err != nil {
+		t.Fatalf("GenerateDLGroup: %v", err)
+	}
+	return NewScheme(g), fixedbig.NewDRBG("elgamal-rng")
+}
+
+func TestStandardEncryptDecrypt(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		k, err := s.Group().RandomScalar(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := group.ExpGen(s.Group(), k)
+		ct, err := s.Encrypt(kp.Y, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Group().Equal(s.Decrypt(kp.X, ct), m) {
+			t.Fatal("decrypt mismatch")
+		}
+	}
+}
+
+func TestExpEncryptIsZero(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := s.EncryptExp(kp.Y, big.NewInt(0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsZero(kp.X, zero) {
+		t.Error("E(0) did not decrypt to zero")
+	}
+	one, err := s.EncryptExp(kp.Y, big.NewInt(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsZero(kp.X, one) {
+		t.Error("E(1) decrypted to zero")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b int16) bool {
+		ca, err1 := s.EncryptExp(kp.Y, big.NewInt(int64(a)), rng)
+		cb, err2 := s.EncryptExp(kp.Y, big.NewInt(int64(b)), rng)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum := s.Add(ca, cb)
+		want := group.ExpGen(s.Group(), big.NewInt(int64(a)+int64(b)))
+		return s.Group().Equal(s.RecoverExp(kp.X, sum), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubNegScalarMul(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := func(v int64) Ciphertext {
+		ct, err := s.EncryptExp(kp.Y, big.NewInt(v), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct
+	}
+	check := func(name string, ct Ciphertext, want int64) {
+		t.Helper()
+		got := s.RecoverExp(kp.X, ct)
+		if !s.Group().Equal(got, group.ExpGen(s.Group(), big.NewInt(want))) {
+			t.Errorf("%s: plaintext is not %d", name, want)
+		}
+	}
+	check("sub", s.Sub(enc(9), enc(4)), 5)
+	check("neg", s.Neg(enc(7)), -7)
+	check("scalarmul", s.ScalarMul(enc(6), big.NewInt(7)), 42)
+	check("addplain", s.AddPlain(enc(3), big.NewInt(11)), 14)
+	check("xor0-0", s.Sub(s.Add(enc(0), enc(0)), s.ScalarMul(enc(0), big.NewInt(0))), 0)
+}
+
+func TestXORGadget(t *testing.T) {
+	// γ = a + b − 2ab where a is a known bit and b is encrypted: the exact
+	// gadget step 7 of Fig. 1 computes.
+	s, rng := testScheme(t)
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int64{0, 1} {
+		for _, b := range []int64{0, 1} {
+			eb, err := s.EncryptExp(kp.Y, big.NewInt(b), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// E(γ) = E(a) ⊕-gadget: a + b − 2ab = a + (1−2a)·b.
+			coeff := big.NewInt(1 - 2*a)
+			eGamma := s.AddPlain(s.ScalarMul(eb, coeff), big.NewInt(a))
+			want := a ^ b
+			if got := s.IsZero(kp.X, eGamma); got != (want == 0) {
+				t.Errorf("xor(%d,%d): zero-test mismatch", a, b)
+			}
+		}
+	}
+}
+
+func TestJointKeyLayeredDecryption(t *testing.T) {
+	s, rng := testScheme(t)
+	const n = 5
+	keys := make([]*KeyPair, n)
+	shares := make([]group.Element, n)
+	for i := range keys {
+		kp, err := s.GenerateKey(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = kp
+		shares[i] = kp.Y
+	}
+	joint := s.JointPublicKey(shares)
+	ct, err := s.EncryptExp(joint, big.NewInt(0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nz, err := s.EncryptExp(joint, big.NewInt(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip layers one by one in arbitrary order.
+	for _, i := range []int{2, 0, 4, 1} {
+		ct = s.PartialDecrypt(keys[i].X, ct)
+		nz = s.PartialDecrypt(keys[i].X, nz)
+	}
+	// The final holder decrypts with her own share.
+	if !s.IsZero(keys[3].X, ct) {
+		t.Error("joint-key zero ciphertext did not decrypt to zero")
+	}
+	if s.IsZero(keys[3].X, nz) {
+		t.Error("joint-key non-zero ciphertext decrypted to zero")
+	}
+}
+
+func TestJointKeyEqualsSumKey(t *testing.T) {
+	s, rng := testScheme(t)
+	k1, _ := s.GenerateKey(rng)
+	k2, _ := s.GenerateKey(rng)
+	joint := s.JointPublicKey([]group.Element{k1.Y, k2.Y})
+	xSum := new(big.Int).Add(k1.X, k2.X)
+	ct, err := s.EncryptExp(joint, big.NewInt(5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.DecryptSmall(xSum, ct, 10)
+	if !ok || got != 5 {
+		t.Errorf("joint decryption with summed key: got %d ok=%v, want 5", got, ok)
+	}
+}
+
+func TestReRandomizePreservesPlaintextChangesCiphertext(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, _ := s.GenerateKey(rng)
+	ct, err := s.EncryptExp(kp.Y, big.NewInt(7), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := s.ReRandomize(kp.Y, ct, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Group().Equal(rr.C, ct.C) && s.Group().Equal(rr.C1, ct.C1) {
+		t.Error("re-randomisation left the ciphertext unchanged")
+	}
+	got, ok := s.DecryptSmall(kp.X, rr, 10)
+	if !ok || got != 7 {
+		t.Errorf("re-randomised plaintext: got %d ok=%v, want 7", got, ok)
+	}
+}
+
+func TestExponentBlindFixesZeroRandomisesNonZero(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, _ := s.GenerateKey(rng)
+	zero, err := s.EncryptExp(kp.Y, big.NewInt(0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bz, err := s.ExponentBlind(zero, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsZero(kp.X, bz) {
+		t.Error("blinding broke the zero plaintext")
+	}
+	nz, err := s.EncryptExp(kp.Y, big.NewInt(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := s.ExponentBlind(nz, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsZero(kp.X, bn) {
+		t.Error("blinding zeroed a non-zero plaintext")
+	}
+	// The blinded plaintext should no longer be 3 (overwhelming probability).
+	if got, ok := s.DecryptSmall(kp.X, bn, 50); ok && got == 3 {
+		t.Error("blinding left the plaintext exponent recognisable")
+	}
+}
+
+func TestEncryptionsOfSamePlaintextDiffer(t *testing.T) {
+	// IND-CPA structural smoke test: fresh encryptions of the same message
+	// must never repeat.
+	s, rng := testScheme(t)
+	kp, _ := s.GenerateKey(rng)
+	a, err := s.EncryptExp(kp.Y, big.NewInt(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.EncryptExp(kp.Y, big.NewInt(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Group().Equal(a.C, b.C) || s.Group().Equal(a.C1, b.C1) {
+		t.Error("two encryptions of the same plaintext share components")
+	}
+}
+
+func TestDecryptSmallNegative(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, _ := s.GenerateKey(rng)
+	ct, err := s.EncryptExp(kp.Y, big.NewInt(-4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.DecryptSmall(kp.X, ct, 10)
+	if !ok || got != -4 {
+		t.Errorf("got %d ok=%v, want -4", got, ok)
+	}
+	if _, ok := s.DecryptSmall(kp.X, ct, 2); ok {
+		t.Error("bound 2 should not reach -4")
+	}
+}
+
+func TestEncodeLength(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, _ := s.GenerateKey(rng)
+	ct, err := s.EncryptExp(kp.Y, big.NewInt(9), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Encode(ct)); got != s.EncodedLen() {
+		t.Errorf("encoded length %d, want %d", got, s.EncodedLen())
+	}
+}
+
+func TestSchemeOverEllipticCurve(t *testing.T) {
+	// The whole stack must work identically over an EC group.
+	s := NewScheme(group.Secp160r1())
+	rng := fixedbig.NewDRBG("elgamal-ec")
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := s.EncryptExp(kp.Y, big.NewInt(0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsZero(kp.X, ct) {
+		t.Error("EC zero ciphertext did not decrypt to zero")
+	}
+	sum := s.Add(ct, ct)
+	if !s.IsZero(kp.X, sum) {
+		t.Error("EC homomorphic sum of zeros is not zero")
+	}
+	nz, err := s.EncryptExp(kp.Y, big.NewInt(2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.DecryptSmall(kp.X, nz, 5); !ok || got != 2 {
+		t.Errorf("EC DecryptSmall: got %d ok=%v, want 2", got, ok)
+	}
+}
+
+func TestStandardElGamalOverEC(t *testing.T) {
+	s := NewScheme(group.Secp160r1())
+	rng := fixedbig.NewDRBG("std-ec")
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := s.Group().RandomScalar(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := group.ExpGen(s.Group(), k)
+	ct, err := s.Encrypt(kp.Y, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Group().Equal(s.Decrypt(kp.X, ct), m) {
+		t.Error("EC standard decryption mismatch")
+	}
+}
+
+func TestEncodeIncludesBothComponents(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.EncryptExp(kp.Y, big.NewInt(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.EncryptExp(kp.Y, big.NewInt(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := s.Encode(a), s.Encode(b)
+	if len(ea) != len(eb) {
+		t.Fatal("encodings of equal-size ciphertexts differ in length")
+	}
+	same := true
+	for i := range ea {
+		if ea[i] != eb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("distinct ciphertexts encoded identically")
+	}
+}
+
+func TestJointPublicKeyEmptyAndSingle(t *testing.T) {
+	s, rng := testScheme(t)
+	if !s.Group().IsIdentity(s.JointPublicKey(nil)) {
+		t.Error("empty joint key should be the identity")
+	}
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := s.JointPublicKey([]group.Element{kp.Y})
+	if !s.Group().Equal(single, kp.Y) {
+		t.Error("single-share joint key should equal the share")
+	}
+}
+
+func TestDecryptSmallZeroBound(t *testing.T) {
+	s, rng := testScheme(t)
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := s.EncryptExp(kp.Y, big.NewInt(0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.DecryptSmall(kp.X, ct, 0)
+	if !ok || got != 0 {
+		t.Errorf("bound 0 must still find m=0: got %d ok=%v", got, ok)
+	}
+}

@@ -1,0 +1,41 @@
+package fixedbig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// DRBG is a deterministic random byte stream derived from a seed via
+// SHA-256 in counter mode. It implements io.Reader and exists so tests and
+// reproducible simulations can drive the protocol stack with replayable
+// randomness. It is NOT a secure randomness source for production use;
+// production call sites pass crypto/rand.Reader.
+type DRBG struct {
+	seed [32]byte
+	ctr  uint64
+	buf  []byte
+}
+
+// NewDRBG returns a deterministic reader seeded from the given string.
+func NewDRBG(seed string) *DRBG {
+	return &DRBG{seed: sha256.Sum256([]byte(seed))}
+}
+
+// Read fills p with deterministic pseudo-random bytes. It never fails.
+func (d *DRBG) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(d.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], d.seed[:])
+			binary.BigEndian.PutUint64(block[32:], d.ctr)
+			d.ctr++
+			h := sha256.Sum256(block[:])
+			d.buf = h[:]
+		}
+		k := copy(p, d.buf)
+		d.buf = d.buf[k:]
+		p = p[k:]
+	}
+	return n, nil
+}

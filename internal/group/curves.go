@@ -1,0 +1,145 @@
+package group
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// SEC2 / NIST domain parameters for the curves used in the paper's
+// evaluation: secp160r1 (the "160-bit ECC group" of Section VII) plus
+// P-224 and P-256 for the 112- and 128-bit security levels of Fig. 3(a).
+// All parameters are validated by NewECGroup (prime field, prime order,
+// base point on curve, n·G = ∞) when first used.
+
+type curveDef struct {
+	name          string
+	p, a, b       string // hex; a == "" means a = p − 3
+	gx, gy, n     string
+	securityBits  int
+	fieldBitsHint int
+}
+
+var _curveDefs = []curveDef{
+	{
+		name:         "secp160r1",
+		p:            "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFF",
+		b:            "1C97BEFC54BD7A8B65ACF89F81D4D4ADC565FA45",
+		gx:           "4A96B5688EF573284664698968C38BB913CBFC82",
+		gy:           "23A628553168947D59DCC912042351377AC5FB32",
+		n:            "0100000000000000000001F4C8F927AED3CA752257",
+		securityBits: 80,
+	},
+	{
+		name:         "secp224r1",
+		p:            "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF000000000000000000000001",
+		b:            "B4050A850C04B3ABF54132565044B0B7D7BFD8BA270B39432355FFB4",
+		gx:           "B70E0CBD6BB4BF7F321390B94A03C1D356C21122343280D6115C1D21",
+		gy:           "BD376388B5F723FB4C22DFE6CD4375A05A07476444D5819985007E34",
+		n:            "FFFFFFFFFFFFFFFFFFFFFFFFFFFF16A2E0B8F03E13DD29455C5C2A3D",
+		securityBits: 112,
+	},
+	{
+		name:         "secp256r1",
+		p:            "FFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF",
+		b:            "5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B",
+		gx:           "6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296",
+		gy:           "4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5",
+		n:            "FFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551",
+		securityBits: 128,
+	},
+}
+
+var (
+	_curveOnce   sync.Once
+	_curveGroups map[string]*ECGroup
+)
+
+func mustHex(name, field, s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic(fmt.Sprintf("group: malformed %s constant for curve %s", field, name))
+	}
+	return v
+}
+
+func curveGroups() map[string]*ECGroup {
+	_curveOnce.Do(func() {
+		_curveGroups = make(map[string]*ECGroup, len(_curveDefs))
+		for _, d := range _curveDefs {
+			p := mustHex(d.name, "p", d.p)
+			a := new(big.Int).Sub(p, big.NewInt(3))
+			if d.a != "" {
+				a = mustHex(d.name, "a", d.a)
+			}
+			g, err := NewECGroup(CurveSpec{
+				Name:         d.name,
+				P:            p,
+				A:            a,
+				B:            mustHex(d.name, "b", d.b),
+				Gx:           mustHex(d.name, "gx", d.gx),
+				Gy:           mustHex(d.name, "gy", d.gy),
+				N:            mustHex(d.name, "n", d.n),
+				SecurityBits: d.securityBits,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("group: invalid curve %s: %v", d.name, err))
+			}
+			_curveGroups[d.name] = g
+		}
+	})
+	return _curveGroups
+}
+
+// Secp160r1 returns the 160-bit SEC2 curve used by the paper's ECC
+// framework (80-bit security), with the fast limb-arithmetic scalar
+// multiplication of secp160fast.go.
+func Secp160r1() Group { return fastSecp160{ECGroup: curveGroups()["secp160r1"]} }
+
+// Secp160r1Generic returns the same curve with the generic math/big
+// arithmetic; tests and the ablation benchmark compare the two.
+func Secp160r1Generic() *ECGroup { return curveGroups()["secp160r1"] }
+
+// Secp224r1 returns NIST P-224 (112-bit security).
+func Secp224r1() *ECGroup { return curveGroups()["secp224r1"] }
+
+// Secp256r1 returns NIST P-256 (128-bit security).
+func Secp256r1() *ECGroup { return curveGroups()["secp256r1"] }
+
+// ByName resolves a group by its canonical name. Recognised names:
+// modp-1024, modp-2048, modp-3072, secp160r1, secp224r1, secp256r1, and
+// the demo-only toy-dl-256.
+func ByName(name string) (Group, error) {
+	switch name {
+	case "modp-1024":
+		return MODP1024(), nil
+	case "modp-2048":
+		return MODP2048(), nil
+	case "modp-3072":
+		return MODP3072(), nil
+	case "secp160r1", "secp224r1", "secp256r1":
+		return curveGroups()[name], nil
+	case "toy-dl-256":
+		return ToyDL256()
+	default:
+		return nil, fmt.Errorf("group: unknown group %q", name)
+	}
+}
+
+// SecurityLevels enumerates the matched DL/ECC pairs of Fig. 3(a):
+// the NIST-equivalent 80-, 112- and 128-bit symmetric security levels.
+func SecurityLevels() []struct {
+	Bits int
+	DL   string
+	EC   string
+} {
+	return []struct {
+		Bits int
+		DL   string
+		EC   string
+	}{
+		{80, "modp-1024", "secp160r1"},
+		{112, "modp-2048", "secp224r1"},
+		{128, "modp-3072", "secp256r1"},
+	}
+}

@@ -1,0 +1,73 @@
+package group
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+func FuzzDLDecode(f *testing.F) {
+	g := MODP1024()
+	f.Add(g.Encode(g.Generator()))
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{0xFF}, g.ElementLen()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := g.Decode(data)
+		if err != nil {
+			return
+		}
+		// Any accepted element must re-encode to the same bytes and be a
+		// quadratic residue of full order (validated via q-exponent).
+		if !bytes.Equal(g.Encode(e), data) {
+			t.Fatal("decode/encode not idempotent")
+		}
+		if !g.IsIdentity(g.Exp(e, g.Order())) {
+			t.Fatal("accepted element outside the order-q subgroup")
+		}
+	})
+}
+
+func FuzzECDecode(f *testing.F) {
+	g := Secp160r1Generic()
+	f.Add(g.Encode(g.Generator()))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x04, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := g.Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(g.Encode(e), data) {
+			t.Fatal("decode/encode not idempotent")
+		}
+	})
+}
+
+func FuzzFe160MulAgainstBig(f *testing.F) {
+	p := fe160P.big()
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), uint64(6))
+	f.Add(^uint64(0), ^uint64(0), uint64(0xFFFFFFFF), ^uint64(0), ^uint64(0), uint64(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, a0, a1, a2, b0, b1, b2 uint64) {
+		a := fe160{a0, a1, a2 & 0xFFFFFFFF}
+		b := fe160{b0, b1, b2 & 0xFFFFFFFF}
+		ab, bb := a.big(), b.big()
+		if ab.Cmp(p) >= 0 || bb.Cmp(p) >= 0 {
+			return // inputs must be reduced field elements
+		}
+		want := new(big.Int).Mul(ab, bb)
+		want.Mod(want, p)
+		if got := fe160Mul(a, b).big(); got.Cmp(want) != 0 {
+			t.Fatalf("mul(%x, %x): got %x want %x", ab, bb, got, want)
+		}
+		wantAdd := new(big.Int).Add(ab, bb)
+		wantAdd.Mod(wantAdd, p)
+		if got := fe160Add(a, b).big(); got.Cmp(wantAdd) != 0 {
+			t.Fatalf("add(%x, %x): got %x want %x", ab, bb, got, wantAdd)
+		}
+		wantSub := new(big.Int).Sub(ab, bb)
+		wantSub.Mod(wantSub, p)
+		if got := fe160Sub(a, b).big(); got.Cmp(wantSub) != 0 {
+			t.Fatalf("sub(%x, %x): got %x want %x", ab, bb, got, wantSub)
+		}
+	})
+}

@@ -1,0 +1,418 @@
+package group
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"groupranking/internal/fixedbig"
+)
+
+// testGroups returns one small generated DL group (fast) plus the fixed
+// production groups that are cheap enough to exercise in unit tests.
+func testGroups(t *testing.T) []Group {
+	t.Helper()
+	dl, err := GenerateDLGroup(128, fixedbig.NewDRBG("group-test"))
+	if err != nil {
+		t.Fatalf("GenerateDLGroup: %v", err)
+	}
+	return []Group{dl, MODP1024(), Secp160r1(), Secp224r1(), Secp256r1()}
+}
+
+func TestGroupAxioms(t *testing.T) {
+	for _, g := range testGroups(t) {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			rng := fixedbig.NewDRBG("axioms-" + g.Name())
+			a := ExpGen(g, mustScalar(t, g, rng))
+			b := ExpGen(g, mustScalar(t, g, rng))
+			c := ExpGen(g, mustScalar(t, g, rng))
+
+			// Associativity.
+			if !g.Equal(g.Op(g.Op(a, b), c), g.Op(a, g.Op(b, c))) {
+				t.Error("associativity failed")
+			}
+			// Identity.
+			if !g.Equal(g.Op(a, g.Identity()), a) {
+				t.Error("right identity failed")
+			}
+			if !g.Equal(g.Op(g.Identity(), a), a) {
+				t.Error("left identity failed")
+			}
+			// Inverse.
+			if !g.IsIdentity(g.Op(a, g.Inv(a))) {
+				t.Error("inverse failed")
+			}
+			// Commutativity (all our groups are abelian).
+			if !g.Equal(g.Op(a, b), g.Op(b, a)) {
+				t.Error("commutativity failed")
+			}
+			// Generator order: g^q = identity.
+			if !g.IsIdentity(ExpGen(g, g.Order())) {
+				t.Error("generator order is not q")
+			}
+			if g.IsIdentity(g.Generator()) {
+				t.Error("generator is the identity")
+			}
+		})
+	}
+}
+
+func TestExpLaws(t *testing.T) {
+	for _, g := range testGroups(t) {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			rng := fixedbig.NewDRBG("exp-" + g.Name())
+			x := mustScalar(t, g, rng)
+			y := mustScalar(t, g, rng)
+			base := ExpGen(g, mustScalar(t, g, rng))
+
+			// a^(x+y) = a^x ∘ a^y.
+			sum := new(big.Int).Add(x, y)
+			if !g.Equal(g.Exp(base, sum), g.Op(g.Exp(base, x), g.Exp(base, y))) {
+				t.Error("exponent addition law failed")
+			}
+			// (a^x)^y = a^(xy).
+			prod := new(big.Int).Mul(x, y)
+			if !g.Equal(g.Exp(g.Exp(base, x), y), g.Exp(base, prod)) {
+				t.Error("exponent multiplication law failed")
+			}
+			// a^0 = identity, a^1 = a.
+			if !g.IsIdentity(g.Exp(base, big.NewInt(0))) {
+				t.Error("a^0 is not identity")
+			}
+			if !g.Equal(g.Exp(base, big.NewInt(1)), base) {
+				t.Error("a^1 is not a")
+			}
+			// a^(-x) = (a^x)^{-1}.
+			neg := new(big.Int).Neg(x)
+			if !g.Equal(g.Exp(base, neg), g.Inv(g.Exp(base, x))) {
+				t.Error("negative exponent law failed")
+			}
+		})
+	}
+}
+
+func TestExpSmallScalarsQuick(t *testing.T) {
+	// For small scalars, exponentiation agrees with repeated Op.
+	for _, g := range []Group{Secp160r1(), MODP1024()} {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			f := func(k uint8) bool {
+				want := g.Identity()
+				for i := 0; i < int(k); i++ {
+					want = g.Op(want, g.Generator())
+				}
+				got := ExpGen(g, big.NewInt(int64(k)))
+				return g.Equal(got, want)
+			}
+			cfg := &quick.Config{MaxCount: 20}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, g := range testGroups(t) {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			rng := fixedbig.NewDRBG("encode-" + g.Name())
+			for i := 0; i < 5; i++ {
+				e := ExpGen(g, mustScalar(t, g, rng))
+				data := g.Encode(e)
+				if len(data) != g.ElementLen() {
+					t.Fatalf("encoded length %d, want %d", len(data), g.ElementLen())
+				}
+				back, err := g.Decode(data)
+				if err != nil {
+					t.Fatalf("Decode: %v", err)
+				}
+				if !g.Equal(e, back) {
+					t.Fatal("round trip mismatch")
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, g := range testGroups(t) {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			if _, err := g.Decode([]byte{1, 2, 3}); err == nil {
+				t.Error("short input accepted")
+			}
+			junk := make([]byte, g.ElementLen())
+			for i := range junk {
+				junk[i] = 0xFF
+			}
+			if _, err := g.Decode(junk); err == nil {
+				t.Error("out-of-range input accepted")
+			}
+		})
+	}
+}
+
+func TestDLDecodeRejectsNonResidue(t *testing.T) {
+	g := MODP1024()
+	// Find a quadratic non-residue and check Decode rejects it.
+	v := big.NewInt(2)
+	for big.Jacobi(v, g.Modulus()) == 1 {
+		v.Add(v, big.NewInt(1))
+	}
+	data := v.FillBytes(make([]byte, g.ElementLen()))
+	if _, err := g.Decode(data); err == nil {
+		t.Error("non-residue accepted by Decode")
+	}
+}
+
+func TestECDecodeRejectsOffCurve(t *testing.T) {
+	g := Secp160r1()
+	e := g.Generator()
+	data := g.Encode(e)
+	data[len(data)-1] ^= 1 // perturb Y
+	if _, err := g.Decode(data); err == nil {
+		t.Error("off-curve point accepted by Decode")
+	}
+}
+
+func TestECIdentityEncoding(t *testing.T) {
+	g := Secp160r1()
+	id := g.Identity()
+	back, err := g.Decode(g.Encode(id))
+	if err != nil {
+		t.Fatalf("Decode identity: %v", err)
+	}
+	if !g.IsIdentity(back) {
+		t.Error("identity round trip failed")
+	}
+}
+
+func TestRandomScalarRange(t *testing.T) {
+	for _, g := range testGroups(t) {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			rng := fixedbig.NewDRBG("scalar-" + g.Name())
+			for i := 0; i < 20; i++ {
+				k, err := g.RandomScalar(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if k.Sign() <= 0 || k.Cmp(g.Order()) >= 0 {
+					t.Fatalf("scalar %s out of [1, q)", k)
+				}
+			}
+		})
+	}
+}
+
+func TestMODPGroupsAreSafePrimes(t *testing.T) {
+	for _, g := range []*DLGroup{MODP1024(), MODP2048(), MODP3072()} {
+		p := g.Modulus()
+		if !p.ProbablyPrime(32) {
+			t.Errorf("%s: p not prime", g.Name())
+		}
+		if !g.Order().ProbablyPrime(32) {
+			t.Errorf("%s: q not prime", g.Name())
+		}
+		wantBits := map[string]int{"modp-1024": 1024, "modp-2048": 2048, "modp-3072": 3072}[g.Name()]
+		if p.BitLen() != wantBits {
+			t.Errorf("%s: %d bits, want %d", g.Name(), p.BitLen(), wantBits)
+		}
+		// Generator must be a quadratic residue so its order is exactly q.
+		ge := g.unwrap(g.Generator())
+		if big.Jacobi(ge, p) != 1 {
+			t.Errorf("%s: generator not a quadratic residue", g.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"modp-1024", "modp-2048", "modp-3072", "secp160r1", "secp224r1", "secp256r1"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if g.Name() != name {
+			t.Errorf("ByName(%q) returned %q", name, g.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSecurityLevelsMatchGroups(t *testing.T) {
+	for _, lvl := range SecurityLevels() {
+		dl, err := ByName(lvl.DL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ec, err := ByName(lvl.EC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dl.SecurityBits() != lvl.Bits || ec.SecurityBits() != lvl.Bits {
+			t.Errorf("level %d: groups report %d and %d", lvl.Bits, dl.SecurityBits(), ec.SecurityBits())
+		}
+	}
+}
+
+func TestECAddDoubleConsistency(t *testing.T) {
+	g := Secp160r1()
+	p1 := g.Generator()
+	// 2P via Op(P, P) must equal Exp(P, 2).
+	if !g.Equal(g.Op(p1, p1), g.Exp(p1, big.NewInt(2))) {
+		t.Error("doubling via Op disagrees with Exp")
+	}
+	// P + (−P) = ∞.
+	if !g.IsIdentity(g.Op(p1, g.Inv(p1))) {
+		t.Error("P + (−P) is not the identity")
+	}
+	// ∞ + P = P.
+	if !g.Equal(g.Op(g.Identity(), p1), p1) {
+		t.Error("identity addition failed")
+	}
+}
+
+func TestGenerateDLGroupRejectsTiny(t *testing.T) {
+	if _, err := GenerateDLGroup(8, fixedbig.NewDRBG("tiny")); err == nil {
+		t.Error("expected error for tiny group size")
+	}
+}
+
+func TestMixedElementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when mixing elements across groups")
+		}
+	}()
+	MODP1024().Op(MODP1024().Generator(), Secp160r1().Generator())
+}
+
+func mustScalar(t *testing.T, g Group, rng *fixedbig.DRBG) *big.Int {
+	t.Helper()
+	k, err := g.RandomScalar(rng)
+	if err != nil {
+		t.Fatalf("RandomScalar: %v", err)
+	}
+	return k
+}
+
+func TestToyDL256(t *testing.T) {
+	g, err := ToyDL256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "toy-dl-256" || g.Modulus().BitLen() != 256 {
+		t.Errorf("toy group malformed: %s, %d bits", g.Name(), g.Modulus().BitLen())
+	}
+	// Deterministic across calls and reachable via ByName.
+	g2, err := ByName("toy-dl-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Name() != g.Name() || g2.Order().Cmp(g.Order()) != 0 {
+		t.Error("ByName returned a different toy group")
+	}
+	// Usable for the protocol stack.
+	k, err := g.RandomScalar(fixedbig.NewDRBG("toy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsIdentity(ExpGen(g, k)) {
+		t.Error("toy group exponentiation degenerate")
+	}
+}
+
+func TestGobRoundTripElements(t *testing.T) {
+	RegisterGob()
+	for _, g := range []Group{MODP1024(), Secp160r1()} {
+		rng := fixedbig.NewDRBG("gob-" + g.Name())
+		k, err := g.RandomScalar(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := ExpGen(g, k)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+			t.Fatalf("%s: encode: %v", g.Name(), err)
+		}
+		var back Element
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Fatalf("%s: decode: %v", g.Name(), err)
+		}
+		if !g.Equal(e, back) {
+			t.Errorf("%s: gob round trip changed the element", g.Name())
+		}
+	}
+	// The EC identity also round-trips.
+	g := Secp160r1()
+	id := g.Identity()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&id); err != nil {
+		t.Fatal(err)
+	}
+	var back Element
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsIdentity(back) {
+		t.Error("identity did not survive gob")
+	}
+}
+
+func TestWNAFDigits(t *testing.T) {
+	// Reconstruction: Σ d_i·2^i = e; digits odd or zero, |d| < 8; no two
+	// non-zero digits within 4 positions.
+	rng := fixedbig.NewDRBG("wnaf")
+	for trial := 0; trial < 100; trial++ {
+		e, err := fixedbig.RandBits(rng, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Sign() == 0 {
+			continue
+		}
+		digits := wnafDigits(e, 4)
+		sum := new(big.Int)
+		lastNonZero := -10
+		for i, d := range digits {
+			if d != 0 {
+				if d%2 == 0 || d > 7 || d < -7 {
+					t.Fatalf("digit %d at %d out of wNAF range", d, i)
+				}
+				if i-lastNonZero < 4 {
+					t.Fatalf("non-zero digits at %d and %d violate the NAF property", lastNonZero, i)
+				}
+				lastNonZero = i
+			}
+			term := new(big.Int).Lsh(big.NewInt(int64(d)), uint(i))
+			sum.Add(sum, term)
+		}
+		if sum.Cmp(e) != 0 {
+			t.Fatalf("wNAF reconstruction: got %s, want %s", sum, e)
+		}
+	}
+}
+
+func TestGenericExpMatchesRepeatedOp(t *testing.T) {
+	// The wNAF ladder must agree with naive repeated addition across a
+	// range of scalars, including NAF boundary values.
+	g := Secp160r1Generic()
+	for _, k := range []int64{1, 2, 3, 7, 8, 15, 16, 17, 31, 255, 256, 1000} {
+		want := g.Identity()
+		for i := int64(0); i < k; i++ {
+			want = g.Op(want, g.Generator())
+		}
+		got := g.Exp(g.Generator(), big.NewInt(k))
+		if !g.Equal(got, want) {
+			t.Fatalf("Exp(%d) disagrees with repeated Op", k)
+		}
+	}
+}

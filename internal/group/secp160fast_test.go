@@ -1,0 +1,158 @@
+package group
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"groupranking/internal/fixedbig"
+)
+
+func TestFe160RoundTrip(t *testing.T) {
+	p := fe160P.big()
+	want, _ := new(big.Int).SetString("FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFF", 16)
+	if p.Cmp(want) != 0 {
+		t.Fatalf("fe160P constant wrong: %x", p)
+	}
+	rng := fixedbig.NewDRBG("fe160-rt")
+	for i := 0; i < 50; i++ {
+		v, err := fixedbig.RandInt(rng, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fe160FromBig(v).big(); got.Cmp(v) != 0 {
+			t.Fatalf("round trip: got %x, want %x", got, v)
+		}
+	}
+}
+
+func TestFe160ArithmeticAgainstBig(t *testing.T) {
+	p := fe160P.big()
+	rng := fixedbig.NewDRBG("fe160-arith")
+	for i := 0; i < 300; i++ {
+		a, _ := fixedbig.RandInt(rng, p)
+		b, _ := fixedbig.RandInt(rng, p)
+		fa, fb := fe160FromBig(a), fe160FromBig(b)
+
+		sum := new(big.Int).Add(a, b)
+		sum.Mod(sum, p)
+		if got := fe160Add(fa, fb).big(); got.Cmp(sum) != 0 {
+			t.Fatalf("add: got %x want %x (a=%x b=%x)", got, sum, a, b)
+		}
+		diff := new(big.Int).Sub(a, b)
+		diff.Mod(diff, p)
+		if got := fe160Sub(fa, fb).big(); got.Cmp(diff) != 0 {
+			t.Fatalf("sub: got %x want %x", got, diff)
+		}
+		prod := new(big.Int).Mul(a, b)
+		prod.Mod(prod, p)
+		if got := fe160Mul(fa, fb).big(); got.Cmp(prod) != 0 {
+			t.Fatalf("mul: got %x want %x (a=%x b=%x)", got, prod, a, b)
+		}
+	}
+}
+
+func TestFe160EdgeValues(t *testing.T) {
+	p := fe160P.big()
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	edges := []*big.Int{big.NewInt(0), big.NewInt(1), pm1, new(big.Int).Rsh(p, 1)}
+	for _, a := range edges {
+		for _, b := range edges {
+			fa, fb := fe160FromBig(a), fe160FromBig(b)
+			prod := new(big.Int).Mul(a, b)
+			prod.Mod(prod, p)
+			if got := fe160Mul(fa, fb).big(); got.Cmp(prod) != 0 {
+				t.Fatalf("mul edge: a=%x b=%x got %x want %x", a, b, got, prod)
+			}
+			sum := new(big.Int).Add(a, b)
+			sum.Mod(sum, p)
+			if got := fe160Add(fa, fb).big(); got.Cmp(sum) != 0 {
+				t.Fatalf("add edge: a=%x b=%x got %x want %x", a, b, got, sum)
+			}
+		}
+	}
+}
+
+func TestFe160Inv(t *testing.T) {
+	p := fe160P.big()
+	rng := fixedbig.NewDRBG("fe160-inv")
+	for i := 0; i < 10; i++ {
+		a, _ := fixedbig.RandNonZero(rng, p)
+		inv := fe160Inv(fe160FromBig(a))
+		want := new(big.Int).ModInverse(a, p)
+		if inv.big().Cmp(want) != 0 {
+			t.Fatalf("inv: got %x want %x", inv.big(), want)
+		}
+	}
+}
+
+func TestFastExpMatchesGeneric(t *testing.T) {
+	fast := Secp160r1()
+	slow := Secp160r1Generic()
+	rng := fixedbig.NewDRBG("fast-vs-generic")
+	base := fast.Generator()
+	for i := 0; i < 15; i++ {
+		k, err := fast.RandomScalar(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := fast.Exp(base, k)
+		b := slow.Exp(base, k)
+		if !slow.Equal(a, b) {
+			t.Fatalf("fast and generic Exp disagree for k=%x", k)
+		}
+		base = a // walk through varied points
+	}
+	// Small scalars and identities.
+	f := func(k uint8) bool {
+		a := fast.Exp(fast.Generator(), big.NewInt(int64(k)))
+		b := slow.Exp(slow.Generator(), big.NewInt(int64(k)))
+		return slow.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	if !fast.IsIdentity(fast.Exp(fast.Generator(), big.NewInt(0))) {
+		t.Error("k=0 must give the identity")
+	}
+	if !fast.IsIdentity(fast.Exp(fast.Identity(), big.NewInt(5))) {
+		t.Error("identity base must stay identity")
+	}
+	// Order annihilates.
+	if !fast.IsIdentity(fast.Exp(fast.Generator(), fast.Order())) {
+		t.Error("n·G must be the identity")
+	}
+	// Negative exponents.
+	neg := fast.Exp(fast.Generator(), big.NewInt(-3))
+	pos := slow.Inv(slow.Exp(slow.Generator(), big.NewInt(3)))
+	if !slow.Equal(neg, pos) {
+		t.Error("negative exponent disagrees")
+	}
+}
+
+func BenchmarkExpFast160(b *testing.B) {
+	g := Secp160r1()
+	k, _ := g.RandomScalar(fixedbig.NewDRBG("bench-fast"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Exp(g.Generator(), k)
+	}
+}
+
+func BenchmarkExpGeneric160(b *testing.B) {
+	g := Secp160r1Generic()
+	k, _ := g.RandomScalar(fixedbig.NewDRBG("bench-slow"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Exp(g.Generator(), k)
+	}
+}
+
+func BenchmarkExpDL1024(b *testing.B) {
+	g := MODP1024()
+	k, _ := g.RandomScalar(fixedbig.NewDRBG("bench-dl"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Exp(g.Generator(), k)
+	}
+}

@@ -1,0 +1,77 @@
+package group
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Gob support so group elements can cross process boundaries inside
+// protocol messages (the TCP transport gob-encodes payloads carrying
+// Element interface values). Elements encode as raw coordinates; the
+// receiving side revalidates group membership at the protocol layer
+// where the group is known.
+
+// GobEncode implements gob.GobEncoder.
+func (e dlElement) GobEncode() ([]byte, error) {
+	return e.v.GobEncode()
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *dlElement) GobDecode(data []byte) error {
+	e.v = new(big.Int)
+	return e.v.GobDecode(data)
+}
+
+// GobEncode implements gob.GobEncoder.
+func (p ecPoint) GobEncode() ([]byte, error) {
+	if p.inf {
+		return []byte{0}, nil
+	}
+	xb, err := p.x.GobEncode()
+	if err != nil {
+		return nil, err
+	}
+	yb, err := p.y.GobEncode()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 5+len(xb)+len(yb))
+	out = append(out, 1, byte(len(xb)>>8), byte(len(xb)))
+	out = append(out, xb...)
+	return append(out, yb...), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *ecPoint) GobDecode(data []byte) error {
+	if len(data) == 1 && data[0] == 0 {
+		p.inf = true
+		return nil
+	}
+	if len(data) < 3 || data[0] != 1 {
+		return fmt.Errorf("group: malformed point encoding")
+	}
+	xLen := int(data[1])<<8 | int(data[2])
+	if 3+xLen > len(data) {
+		return fmt.Errorf("group: truncated point encoding")
+	}
+	p.x = new(big.Int)
+	if err := p.x.GobDecode(data[3 : 3+xLen]); err != nil {
+		return err
+	}
+	p.y = new(big.Int)
+	return p.y.GobDecode(data[3+xLen:])
+}
+
+var _gobOnce sync.Once
+
+// RegisterGob registers the concrete Element implementations with
+// encoding/gob so they can travel inside interface-typed message
+// fields. Safe to call repeatedly.
+func RegisterGob() {
+	_gobOnce.Do(func() {
+		gob.Register(dlElement{})
+		gob.Register(ecPoint{})
+	})
+}

@@ -1,0 +1,141 @@
+// Package shamir implements Shamir secret sharing over a prime field,
+// the substrate of the paper's secret-sharing baseline (Section II). A
+// secret is embedded as the constant term of a uniformly random degree-d
+// polynomial; any d+1 shares reconstruct it by Lagrange interpolation and
+// any d shares are information-theoretically independent of it.
+//
+// Share x-coordinates are the party indices shifted by one (party i holds
+// the evaluation at x = i+1), the convention the ssmpc engine relies on.
+package shamir
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"groupranking/internal/fixedbig"
+)
+
+// Share is one party's evaluation point of the sharing polynomial.
+type Share struct {
+	X int      // evaluation abscissa (party index + 1), > 0
+	Y *big.Int // polynomial value mod p
+}
+
+// Split shares secret with a uniformly random polynomial of the given
+// degree among n parties. Reconstruction requires degree+1 shares;
+// any `degree` shares reveal nothing.
+func Split(secret *big.Int, degree, n int, p *big.Int, rng io.Reader) ([]Share, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("shamir: negative degree %d", degree)
+	}
+	if n < degree+1 {
+		return nil, fmt.Errorf("shamir: %d parties cannot carry a degree-%d sharing", n, degree)
+	}
+	coeffs := make([]*big.Int, degree+1)
+	coeffs[0] = new(big.Int).Mod(secret, p)
+	for i := 1; i <= degree; i++ {
+		c, err := fixedbig.RandInt(rng, p)
+		if err != nil {
+			return nil, fmt.Errorf("shamir: sampling coefficient: %w", err)
+		}
+		coeffs[i] = c
+	}
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		x := big.NewInt(int64(i + 1))
+		shares[i] = Share{X: i + 1, Y: evalPoly(coeffs, x, p)}
+	}
+	return shares, nil
+}
+
+// evalPoly evaluates the polynomial at x via Horner's rule.
+func evalPoly(coeffs []*big.Int, x, p *big.Int) *big.Int {
+	acc := new(big.Int)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc.Mul(acc, x)
+		acc.Add(acc, coeffs[i])
+		acc.Mod(acc, p)
+	}
+	return acc
+}
+
+// Reconstruct interpolates the secret (the polynomial at 0) from the
+// given shares. The shares must have distinct positive abscissae; the
+// caller must supply at least degree+1 of them for a correct result.
+func Reconstruct(shares []Share, p *big.Int) (*big.Int, error) {
+	xs := make([]int, len(shares))
+	for i, s := range shares {
+		xs[i] = s.X
+	}
+	lambdas, err := LagrangeAtZero(xs, p)
+	if err != nil {
+		return nil, err
+	}
+	secret := new(big.Int)
+	for i, s := range shares {
+		secret.Add(secret, new(big.Int).Mul(lambdas[i], s.Y))
+	}
+	return secret.Mod(secret, p), nil
+}
+
+// LagrangeAtZero returns the interpolation coefficients λ_i such that
+// f(0) = Σ λ_i·f(x_i) for any polynomial of degree < len(xs). The ssmpc
+// degree-reduction step uses these directly.
+func LagrangeAtZero(xs []int, p *big.Int) ([]*big.Int, error) {
+	seen := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		if x <= 0 {
+			return nil, fmt.Errorf("shamir: abscissa %d must be positive", x)
+		}
+		if seen[x] {
+			return nil, fmt.Errorf("shamir: duplicate abscissa %d", x)
+		}
+		seen[x] = true
+	}
+	lambdas := make([]*big.Int, len(xs))
+	for i, xi := range xs {
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		for j, xj := range xs {
+			if j == i {
+				continue
+			}
+			num.Mul(num, big.NewInt(int64(-xj)))
+			num.Mod(num, p)
+			den.Mul(den, big.NewInt(int64(xi-xj)))
+			den.Mod(den, p)
+		}
+		denInv := new(big.Int).ModInverse(den, p)
+		if denInv == nil {
+			return nil, fmt.Errorf("shamir: abscissae collide modulo p")
+		}
+		lambdas[i] = num.Mul(num, denInv).Mod(num, p)
+	}
+	return lambdas, nil
+}
+
+// AddShares adds two shares of the same abscissa pointwise; the result
+// shares the sum of the secrets.
+func AddShares(a, b Share, p *big.Int) (Share, error) {
+	if a.X != b.X {
+		return Share{}, fmt.Errorf("shamir: adding shares with abscissae %d and %d", a.X, b.X)
+	}
+	y := new(big.Int).Add(a.Y, b.Y)
+	return Share{X: a.X, Y: y.Mod(y, p)}, nil
+}
+
+// ScaleShare multiplies a share by a public scalar; the result shares
+// k times the secret.
+func ScaleShare(a Share, k, p *big.Int) Share {
+	y := new(big.Int).Mul(a.Y, k)
+	return Share{X: a.X, Y: y.Mod(y, p)}
+}
+
+// AddConst adds a public constant to a share; the result shares
+// secret + k. (The constant term shifts; higher coefficients are
+// untouched, so only the secret changes.)
+func AddConst(a Share, k, p *big.Int) Share {
+	y := new(big.Int).Add(a.Y, k)
+	return Share{X: a.X, Y: y.Mod(y, p)}
+}

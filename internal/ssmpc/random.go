@@ -1,0 +1,117 @@
+package ssmpc
+
+import (
+	"fmt"
+	"math/big"
+
+	"groupranking/internal/fixedbig"
+)
+
+// RandomElements produces k shared field elements unknown to any
+// coalition of up to Degree parties: every party deals a random
+// contribution and the results are summed. One communication round.
+func (e *Engine) RandomElements(k int) ([]Share, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ssmpc: RandomElements needs k > 0, got %d", k)
+	}
+	round := e.nextRound()
+
+	// Deal my contributions.
+	perParty := make([][]*big.Int, e.cfg.N)
+	for j := range perParty {
+		perParty[j] = make([]*big.Int, k)
+	}
+	for i := 0; i < k; i++ {
+		r, err := fixedbig.RandInt(e.rng, e.cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		pieces, err := splitSecret(e, r)
+		if err != nil {
+			return nil, err
+		}
+		for j := range pieces {
+			perParty[j][i] = pieces[j]
+		}
+	}
+	for j := 0; j < e.cfg.N; j++ {
+		if j == e.me {
+			continue
+		}
+		if err := e.fab.Send(round, e.me, j, k*e.fieldBytes(), perParty[j]); err != nil {
+			return nil, err
+		}
+	}
+	all, err := e.fab.GatherAll(e.me)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Share, k)
+	for i := 0; i < k; i++ {
+		acc := new(big.Int).Set(perParty[e.me][i])
+		for j := 0; j < e.cfg.N; j++ {
+			if j == e.me {
+				continue
+			}
+			ys, ok := all[j].([]*big.Int)
+			if !ok || len(ys) != k {
+				return nil, fmt.Errorf("ssmpc: malformed random batch from party %d", j)
+			}
+			acc.Add(acc, ys[i])
+		}
+		out[i] = Share{y: acc.Mod(acc, e.cfg.P)}
+	}
+	return out, nil
+}
+
+// RandomBits produces k uniformly random shared bits via the classic
+// square-and-open construction: draw shared r, open r², reject zero,
+// and set b = (r/√(r²) + 1)/2, which is a uniform bit because r/√(r²)
+// is a uniform sign. Constant number of rounds per retry batch.
+func (e *Engine) RandomBits(k int) ([]Share, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ssmpc: RandomBits needs k > 0, got %d", k)
+	}
+	out := make([]Share, 0, k)
+	inv2 := new(big.Int).ModInverse(big.NewInt(2), e.cfg.P)
+	need := k
+	for attempts := 0; need > 0; attempts++ {
+		if attempts > 64 {
+			return nil, fmt.Errorf("ssmpc: RandomBits failed to converge")
+		}
+		rs, err := e.RandomElements(need)
+		if err != nil {
+			return nil, err
+		}
+		sqs, err := e.MulBatch(rs, rs)
+		if err != nil {
+			return nil, err
+		}
+		opened, err := e.OpenBatch(sqs)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range opened {
+			if v.Sign() == 0 {
+				continue // r was zero (probability 1/p); retry that slot
+			}
+			w := new(big.Int).ModSqrt(v, e.cfg.P)
+			if w == nil {
+				return nil, fmt.Errorf("ssmpc: opened square %s has no root", v)
+			}
+			// Canonicalise the root so every party picks the same sign.
+			other := new(big.Int).Sub(e.cfg.P, w)
+			if w.Cmp(other) > 0 {
+				w = other
+			}
+			wInv := new(big.Int).ModInverse(w, e.cfg.P)
+			// b = (r·w⁻¹ + 1)/2.
+			b := e.Scale(rs[i], wInv)
+			b = e.AddConst(b, big.NewInt(1))
+			b = e.Scale(b, inv2)
+			out = append(out, b)
+		}
+		need = k - len(out)
+	}
+	return out, nil
+}

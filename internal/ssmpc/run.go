@@ -1,0 +1,85 @@
+package ssmpc
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/shamir"
+	"groupranking/internal/transport"
+)
+
+// splitSecret shares a value with this engine's parameters and returns
+// the per-party y-values.
+func splitSecret(e *Engine, s *big.Int) ([]*big.Int, error) {
+	shares, err := shamir.Split(s, e.cfg.Degree, e.cfg.N, e.cfg.P, e.rng)
+	if err != nil {
+		return nil, err
+	}
+	ys := make([]*big.Int, len(shares))
+	for i, sh := range shares {
+		ys[i] = sh.Y
+	}
+	return ys, nil
+}
+
+// Result carries one party's program output.
+type Result[T any] struct {
+	Party    int
+	Value    T
+	Counters Counters
+}
+
+// RunProgram executes the same SPMD program on all cfg.N parties, one
+// goroutine per party, over a fresh in-memory fabric. It returns the
+// per-party results (indexed by party), the fabric (for stats and trace),
+// and the first error any party hit. Each party gets an independent
+// deterministic DRBG derived from seed; pass distinct seeds for
+// statistically independent runs, or use RunProgramRand for crypto/rand.
+func RunProgram[T any](cfg Config, seed string, opts []transport.Option, prog func(e *Engine) (T, error)) ([]Result[T], *transport.Fabric, error) {
+	rngs := make([]io.Reader, cfg.N)
+	for i := range rngs {
+		rngs[i] = fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", seed, i))
+	}
+	return runWith(cfg, rngs, opts, prog)
+}
+
+func runWith[T any](cfg Config, rngs []io.Reader, opts []transport.Option, prog func(e *Engine) (T, error)) ([]Result[T], *transport.Fabric, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	fab, err := transport.New(cfg.N, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]Result[T], cfg.N)
+	errs := make([]error, cfg.N)
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.N; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng, err := NewEngine(cfg, p, fab, rngs[p])
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			v, err := prog(eng)
+			if err != nil {
+				errs[p] = fmt.Errorf("party %d: %w", p, err)
+				return
+			}
+			results[p] = Result[T]{Party: p, Value: v, Counters: eng.Counters()}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fab, err
+		}
+	}
+	return results, fab, nil
+}

@@ -1,0 +1,203 @@
+package topk
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sort"
+	"testing"
+
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/ssmpc"
+)
+
+func testConfig(t *testing.T, n int) ssmpc.Config {
+	t.Helper()
+	p, err := rand.Prime(fixedbig.NewDRBG("topk-prime"), 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ssmpc.Config{N: n, Degree: (n - 1) / 2, P: p, Kappa: 40}
+}
+
+// runTopK executes the protocol for the given values and returns every
+// party's Result (they must all agree).
+func runTopK(t *testing.T, vals []int64, l, k, buckets int, seed string) *Result {
+	t.Helper()
+	cfg := testConfig(t, len(vals))
+	results, _, err := ssmpc.RunProgram(cfg, seed, nil, func(e *ssmpc.Engine) (*Result, error) {
+		return Run(e, big.NewInt(vals[e.Party()]), l, k, buckets)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := results[0].Value
+	for _, r := range results[1:] {
+		if r.Value.Threshold.Cmp(first.Threshold) != 0 || r.Value.Exact != first.Exact ||
+			r.Value.AboveCount != first.AboveCount || r.Value.BoundaryCount != first.BoundaryCount {
+			t.Fatalf("parties disagree: %+v vs %+v", r.Value, first)
+		}
+	}
+	return first
+}
+
+// checkThreshold verifies the threshold isolates a correct top-k set.
+func checkThreshold(t *testing.T, vals []int64, k int, res *Result) {
+	t.Helper()
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	kth := sorted[k-1]
+	// The k-th largest must sit in the final bucket (≥ threshold).
+	if kth < res.Threshold.Int64() {
+		t.Fatalf("k-th largest %d below threshold %s", kth, res.Threshold)
+	}
+	above, boundary := 0, 0
+	thr := res.Threshold.Int64()
+	for _, v := range vals {
+		switch {
+		case v > thr && res.Exact && v >= kth:
+			above++
+		case v > thr:
+			above++
+		}
+		if v == thr {
+			boundary++
+		}
+	}
+	if res.Exact && res.AboveCount+res.BoundaryCount != k {
+		t.Fatalf("exact result isolates %d values, want %d", res.AboveCount+res.BoundaryCount, k)
+	}
+}
+
+func TestDistinctValuesExact(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []int64
+		k    int
+	}{
+		{"five values k2", []int64{50, 10, 90, 30, 70}, 2},
+		{"k1", []int64{3, 15, 8}, 1},
+		{"k equals n", []int64{5, 9, 1}, 3},
+		{"adjacent values", []int64{10, 11, 12, 13, 14}, 3},
+		{"extremes", []int64{0, 255, 128}, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res := runTopK(t, tc.vals, 8, tc.k, 4, "distinct-"+tc.name)
+			if !res.Exact {
+				t.Errorf("distinct values should resolve exactly: %+v", res)
+			}
+			if res.AboveCount+res.BoundaryCount != tc.k {
+				t.Errorf("isolated %d values, want %d", res.AboveCount+res.BoundaryCount, tc.k)
+			}
+			checkThreshold(t, tc.vals, tc.k, res)
+		})
+	}
+}
+
+func TestDuplicatesAtBoundaryAreAmbiguous(t *testing.T) {
+	// Three parties tie at the k-th position: the paper's documented
+	// failure mode — the protocol cannot split them.
+	vals := []int64{40, 40, 40, 90, 7}
+	res := runTopK(t, vals, 8, 2, 4, "dup-boundary")
+	if res.Exact {
+		t.Fatalf("tie at the boundary must be reported as inexact: %+v", res)
+	}
+	// 90 is above, and the three 40s share the boundary bucket.
+	if res.AboveCount != 1 || res.BoundaryCount != 3 {
+		t.Errorf("got above=%d boundary=%d, want 1 and 3", res.AboveCount, res.BoundaryCount)
+	}
+}
+
+func TestAllEqualValues(t *testing.T) {
+	res := runTopK(t, []int64{5, 5, 5}, 4, 2, 2, "all-equal")
+	if res.Exact {
+		t.Error("all-equal values cannot be split exactly for k=2")
+	}
+	if res.BoundaryCount != 3 {
+		t.Errorf("boundary count %d, want 3", res.BoundaryCount)
+	}
+}
+
+func TestWideBuckets(t *testing.T) {
+	// buckets larger than the range still work (single refinement).
+	res := runTopK(t, []int64{1, 2, 3}, 2, 1, 16, "wide")
+	if !res.Exact || res.Threshold.Int64() != 3 {
+		t.Errorf("got %+v, want exact threshold 3", res)
+	}
+}
+
+func TestRoundsLogarithmic(t *testing.T) {
+	// A well-separated top value resolves in one refinement.
+	res := runTopK(t, []int64{1 << 20, 77, 12345}, 21, 1, 2, "rounds-fast")
+	if !res.Exact || res.Rounds != 1 {
+		t.Errorf("separated top value should resolve in one round: %+v", res)
+	}
+	// Clustered tiny values force a near-full binary descent: the round
+	// count is logarithmic in the range, never more.
+	res = runTopK(t, []int64{0, 1, 3}, 21, 1, 2, "rounds-slow")
+	if res.Rounds > 21 {
+		t.Errorf("binary refinement took %d rounds for 21 bits", res.Rounds)
+	}
+	if res.Rounds < 15 {
+		t.Errorf("clustered values resolved implausibly fast: %d rounds", res.Rounds)
+	}
+	if !res.Exact || res.Threshold.Int64() > 3 {
+		t.Errorf("wrong resolution: %+v", res)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := testConfig(t, 3)
+	cases := []struct {
+		name    string
+		v       int64
+		l, k, b int
+	}{
+		{"zero width", 1, 0, 1, 2},
+		{"oversized width", 1, 63, 1, 2},
+		{"k zero", 1, 8, 0, 2},
+		{"k too big", 1, 8, 4, 2},
+		{"one bucket", 1, 8, 1, 1},
+		{"value overflow", 300, 8, 1, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ssmpc.RunProgram(cfg, "val-"+tc.name, nil, func(e *ssmpc.Engine) (*Result, error) {
+				return Run(e, big.NewInt(tc.v), tc.l, tc.k, tc.b)
+			})
+			if err == nil {
+				t.Error("invalid parameters accepted")
+			}
+		})
+	}
+}
+
+func TestAgainstBruteForceQuick(t *testing.T) {
+	// Randomised cross-check against plaintext selection.
+	rng := fixedbig.NewDRBG("topk-quick")
+	for trial := 0; trial < 6; trial++ {
+		vals := make([]int64, 5)
+		seen := map[int64]bool{}
+		for i := range vals {
+			for {
+				v, err := fixedbig.RandBits(rng, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !seen[v.Int64()] {
+					seen[v.Int64()] = true
+					vals[i] = v.Int64()
+					break
+				}
+			}
+		}
+		k := 1 + trial%3
+		res := runTopK(t, vals, 7, k, 4, "quick")
+		if !res.Exact {
+			t.Fatalf("trial %d: distinct values must resolve exactly (%v, k=%d): %+v", trial, vals, k, res)
+		}
+		checkThreshold(t, vals, k, res)
+	}
+}

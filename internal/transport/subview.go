@@ -1,0 +1,118 @@
+package transport
+
+import "fmt"
+
+// Net is the messaging surface protocol code programs against. *Fabric
+// implements it directly; SubView implements it over a subset of a
+// fabric's parties so multi-phase frameworks can run an n-party
+// subprotocol among a subset of n+1 parties while keeping a single
+// unified trace for network replay.
+type Net interface {
+	// N is the number of addressable parties.
+	N() int
+	// Send delivers payload from one party to another.
+	Send(round, from, to, bytes int, payload any) error
+	// Recv blocks until a message from the given peer arrives.
+	Recv(to, from int) (any, error)
+	// Broadcast sends the payload to every other party.
+	Broadcast(round, from, bytes int, payload any) error
+	// GatherAll receives one message from every other party, indexed by
+	// sender (self slot nil).
+	GatherAll(to int) ([]any, error)
+}
+
+var (
+	_ Net = (*Fabric)(nil)
+	_ Net = (*SubView)(nil)
+)
+
+// SubView presents members of a parent Net as a dense [0, len(members))
+// party space, with all round tags shifted by roundOffset so phases keep
+// distinct round numbers in the shared trace.
+type SubView struct {
+	parent      Net
+	members     []int
+	roundOffset int
+}
+
+// NewSubView validates the member list (distinct, valid parent indices)
+// and returns the restricted view.
+func NewSubView(parent Net, members []int, roundOffset int) (*SubView, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("transport: subview needs at least one member")
+	}
+	seen := make(map[int]bool, len(members))
+	for _, m := range members {
+		if m < 0 || m >= parent.N() {
+			return nil, fmt.Errorf("transport: subview member %d outside parent range [0, %d)", m, parent.N())
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("transport: subview member %d duplicated", m)
+		}
+		seen[m] = true
+	}
+	cp := make([]int, len(members))
+	copy(cp, members)
+	return &SubView{parent: parent, members: cp, roundOffset: roundOffset}, nil
+}
+
+// N implements Net.
+func (s *SubView) N() int { return len(s.members) }
+
+func (s *SubView) check(idx int) error {
+	if idx < 0 || idx >= len(s.members) {
+		return fmt.Errorf("transport: subview index %d out of range [0, %d)", idx, len(s.members))
+	}
+	return nil
+}
+
+// Send implements Net.
+func (s *SubView) Send(round, from, to, bytes int, payload any) error {
+	if err := s.check(from); err != nil {
+		return err
+	}
+	if err := s.check(to); err != nil {
+		return err
+	}
+	return s.parent.Send(round+s.roundOffset, s.members[from], s.members[to], bytes, payload)
+}
+
+// Recv implements Net.
+func (s *SubView) Recv(to, from int) (any, error) {
+	if err := s.check(to); err != nil {
+		return nil, err
+	}
+	if err := s.check(from); err != nil {
+		return nil, err
+	}
+	return s.parent.Recv(s.members[to], s.members[from])
+}
+
+// Broadcast implements Net (n−1 unicasts within the view).
+func (s *SubView) Broadcast(round, from, bytes int, payload any) error {
+	for to := range s.members {
+		if to == from {
+			continue
+		}
+		if err := s.Send(round, from, to, bytes, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GatherAll implements Net.
+func (s *SubView) GatherAll(to int) ([]any, error) {
+	out := make([]any, len(s.members))
+	for from := range s.members {
+		if from == to {
+			continue
+		}
+		p, err := s.Recv(to, from)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,295 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPFabric implements Net over real TCP connections, so the protocol
+// stack runs unchanged across processes or machines — the deployment
+// shape the paper's "fully distributed framework" implies. Each pair of
+// parties shares one duplex TCP connection carrying gob-encoded
+// envelopes; per-sender FIFO ordering is TCP's ordering.
+//
+// Payload types that cross a TCPFabric must be gob-registered first
+// (each protocol package exposes RegisterWire for its own types).
+type TCPFabric struct {
+	n  int
+	me int
+
+	conns []net.Conn
+	encs  []*gob.Encoder
+	encMu []sync.Mutex
+	inbox []chan any
+
+	timeout time.Duration
+
+	mu       sync.Mutex
+	msgs     int64
+	bytes    int64
+	maxRound int
+	rounds   map[int]struct{}
+
+	closeOnce sync.Once
+}
+
+var _ Net = (*TCPFabric)(nil)
+
+// envelope is the wire frame.
+type envelope struct {
+	Round   int
+	Bytes   int
+	Payload any
+}
+
+// NewTCPFabric builds party me's endpoint of an n-party mesh. addrs
+// lists every party's listen address (host:port); the function listens
+// on addrs[me], dials every lower-indexed party, accepts connections
+// from every higher-indexed one, and returns when the mesh is complete.
+// All parties must call it concurrently.
+func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, error) {
+	n := len(addrs)
+	if n < 2 {
+		return nil, fmt.Errorf("transport: tcp mesh needs at least two parties")
+	}
+	if me < 0 || me >= n {
+		return nil, fmt.Errorf("transport: party index %d out of range", me)
+	}
+	f := &TCPFabric{
+		n:       n,
+		me:      me,
+		conns:   make([]net.Conn, n),
+		encs:    make([]*gob.Encoder, n),
+		encMu:   make([]sync.Mutex, n),
+		inbox:   make([]chan any, n),
+		timeout: timeout,
+		rounds:  make(map[int]struct{}),
+	}
+	for i := range f.inbox {
+		f.inbox[i] = make(chan any, 4096)
+	}
+
+	ln, err := net.Listen("tcp", addrs[me])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %s: %w", addrs[me], err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+
+	// Accept from higher-indexed peers; each introduces itself with its
+	// index as the first gob value.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for accepted := 0; accepted < n-1-me; accepted++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errs <- err
+				return
+			}
+			dec := gob.NewDecoder(conn)
+			var peer int
+			if err := dec.Decode(&peer); err != nil {
+				errs <- fmt.Errorf("transport: tcp handshake: %w", err)
+				return
+			}
+			if peer <= me || peer >= n || f.conns[peer] != nil {
+				errs <- fmt.Errorf("transport: invalid handshake from peer %d", peer)
+				return
+			}
+			f.attach(peer, conn, dec)
+		}
+	}()
+
+	// Dial lower-indexed peers (retrying while they come up).
+	for peer := 0; peer < me; peer++ {
+		peer := peer
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				conn, err := net.Dial("tcp", addrs[peer])
+				if err != nil {
+					if time.Now().After(deadline) {
+						errs <- fmt.Errorf("transport: dialing party %d: %w", peer, err)
+						return
+					}
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				enc := gob.NewEncoder(conn)
+				if err := enc.Encode(me); err != nil {
+					errs <- fmt.Errorf("transport: tcp handshake: %w", err)
+					return
+				}
+				f.attachWithEncoder(peer, conn, enc, gob.NewDecoder(conn))
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// attach wires an accepted connection (decoder already created).
+func (f *TCPFabric) attach(peer int, conn net.Conn, dec *gob.Decoder) {
+	f.attachWithEncoder(peer, conn, gob.NewEncoder(conn), dec)
+}
+
+func (f *TCPFabric) attachWithEncoder(peer int, conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) {
+	f.mu.Lock()
+	f.conns[peer] = conn
+	f.encs[peer] = enc
+	f.mu.Unlock()
+	// Reader pump: one goroutine per connection keeps per-sender FIFO
+	// order and feeds the inbox.
+	go func() {
+		for {
+			var env envelope
+			if err := dec.Decode(&env); err != nil {
+				close(f.inbox[peer])
+				return
+			}
+			f.inbox[peer] <- env.Payload
+		}
+	}()
+}
+
+// N implements Net.
+func (f *TCPFabric) N() int { return f.n }
+
+// Send implements Net. Only this party's own index is a valid source.
+func (f *TCPFabric) Send(round, from, to, bytes int, payload any) error {
+	if from != f.me {
+		return fmt.Errorf("transport: tcp party %d cannot send as %d", f.me, from)
+	}
+	if to < 0 || to >= f.n || to == f.me {
+		return fmt.Errorf("transport: invalid destination %d", to)
+	}
+	f.mu.Lock()
+	f.msgs++
+	f.bytes += int64(bytes)
+	if round > f.maxRound {
+		f.maxRound = round
+	}
+	f.rounds[round] = struct{}{}
+	f.mu.Unlock()
+
+	f.encMu[to].Lock()
+	defer f.encMu[to].Unlock()
+	if f.encs[to] == nil {
+		return fmt.Errorf("transport: no connection to party %d", to)
+	}
+	if err := f.encs[to].Encode(envelope{Round: round, Bytes: bytes, Payload: payload}); err != nil {
+		return fmt.Errorf("transport: sending to party %d: %w", to, err)
+	}
+	return nil
+}
+
+// Recv implements Net. Only this party's own index is a valid receiver.
+func (f *TCPFabric) Recv(to, from int) (any, error) {
+	if to != f.me {
+		return nil, fmt.Errorf("transport: tcp party %d cannot receive as %d", f.me, to)
+	}
+	if from < 0 || from >= f.n || from == f.me {
+		return nil, fmt.Errorf("transport: invalid source %d", from)
+	}
+	if f.timeout <= 0 {
+		p, ok := <-f.inbox[from]
+		if !ok {
+			return nil, fmt.Errorf("transport: connection to party %d closed", from)
+		}
+		return p, nil
+	}
+	select {
+	case p, ok := <-f.inbox[from]:
+		if !ok {
+			return nil, fmt.Errorf("transport: connection to party %d closed", from)
+		}
+		return p, nil
+	case <-time.After(f.timeout):
+		return nil, fmt.Errorf("transport: timeout waiting for party %d", from)
+	}
+}
+
+// Broadcast implements Net.
+func (f *TCPFabric) Broadcast(round, from, bytes int, payload any) error {
+	for to := 0; to < f.n; to++ {
+		if to == f.me {
+			continue
+		}
+		if err := f.Send(round, from, to, bytes, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GatherAll implements Net.
+func (f *TCPFabric) GatherAll(to int) ([]any, error) {
+	out := make([]any, f.n)
+	for from := 0; from < f.n; from++ {
+		if from == to {
+			continue
+		}
+		p, err := f.Recv(to, from)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = p
+	}
+	return out, nil
+}
+
+// LocalStats reports this endpoint's send counters (a TCP endpoint only
+// observes its own traffic).
+func (f *TCPFabric) LocalStats() (messages, bytes int64, rounds int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.msgs, f.bytes, len(f.rounds)
+}
+
+// Close tears down every connection.
+func (f *TCPFabric) Close() {
+	f.closeOnce.Do(func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		for _, c := range f.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+}
+
+// FreeLoopbackAddrs reserves n distinct loopback addresses for tests
+// and demos by briefly listening on port 0.
+func FreeLoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs, nil
+}

@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type wirePayload struct {
+	From int
+	Text string
+}
+
+var _wireTestOnce sync.Once
+
+func registerWireTest() {
+	_wireTestOnce.Do(func() { gob.Register(wirePayload{}) })
+}
+
+// buildMesh starts an n-party TCP mesh on loopback and returns the
+// endpoints.
+func buildMesh(t *testing.T, n int) []*TCPFabric {
+	t.Helper()
+	registerWireTest()
+	addrs, err := FreeLoopbackAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabrics := make([]*TCPFabric, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for me := 0; me < n; me++ {
+		me := me
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fabrics[me], errs[me] = NewTCPFabric(addrs, me, 5*time.Second)
+		}()
+	}
+	wg.Wait()
+	for me, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", me, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, f := range fabrics {
+			f.Close()
+		}
+	})
+	return fabrics
+}
+
+func TestTCPMeshSendRecv(t *testing.T) {
+	fabrics := buildMesh(t, 3)
+	if err := fabrics[0].Send(1, 0, 2, 16, wirePayload{From: 0, Text: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fabrics[2].Recv(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := got.(wirePayload)
+	if !ok || p.Text != "hello" {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestTCPOrderingPerSender(t *testing.T) {
+	fabrics := buildMesh(t, 2)
+	for i := 0; i < 50; i++ {
+		if err := fabrics[0].Send(0, 0, 1, 4, wirePayload{From: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		got, err := fabrics[1].Recv(1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.(wirePayload).From != i {
+			t.Fatalf("message %d out of order", i)
+		}
+	}
+}
+
+func TestTCPBroadcastGather(t *testing.T) {
+	const n = 4
+	fabrics := buildMesh(t, n)
+	var wg sync.WaitGroup
+	for me := 0; me < n; me++ {
+		me := me
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fabrics[me].Broadcast(1, me, 8, wirePayload{From: me}); err != nil {
+				t.Error(err)
+				return
+			}
+			all, err := fabrics[me].GatherAll(me)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for from := 0; from < n; from++ {
+				if from == me {
+					continue
+				}
+				if all[from].(wirePayload).From != from {
+					t.Errorf("party %d slot %d wrong: %#v", me, from, all[from])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTCPEndpointRestrictions(t *testing.T) {
+	fabrics := buildMesh(t, 2)
+	if err := fabrics[0].Send(0, 1, 0, 0, wirePayload{}); err == nil {
+		t.Error("sending as another party accepted")
+	}
+	if _, err := fabrics[0].Recv(1, 0); err == nil {
+		t.Error("receiving as another party accepted")
+	}
+	if err := fabrics[0].Send(0, 0, 0, 0, wirePayload{}); err == nil {
+		t.Error("self send accepted")
+	}
+}
+
+func TestTCPTimeout(t *testing.T) {
+	fabrics := buildMesh(t, 2)
+	short := fabrics[0]
+	short.timeout = 30 * time.Millisecond
+	if _, err := short.Recv(0, 1); err == nil {
+		t.Error("expected timeout")
+	}
+}
+
+func TestTCPLocalStats(t *testing.T) {
+	fabrics := buildMesh(t, 2)
+	if err := fabrics[0].Send(7, 0, 1, 100, wirePayload{}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, bytes, rounds := fabrics[0].LocalStats()
+	if msgs != 1 || bytes != 100 || rounds != 1 {
+		t.Errorf("stats = %d msgs, %d bytes, %d rounds", msgs, bytes, rounds)
+	}
+}
+
+func TestTCPClosedPeerSurfacesError(t *testing.T) {
+	fabrics := buildMesh(t, 2)
+	fabrics[1].Close()
+	// Eventually the reader pump closes the inbox and Recv errors.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fabrics[0].timeout = 50 * time.Millisecond
+		if _, err := fabrics[0].Recv(0, 1); err != nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("closed connection never surfaced")
+		}
+	}
+}
+
+func TestTCPConstructorValidation(t *testing.T) {
+	if _, err := NewTCPFabric([]string{"127.0.0.1:0"}, 0, time.Second); err == nil {
+		t.Error("single party accepted")
+	}
+	if _, err := NewTCPFabric([]string{"a", "b"}, 5, time.Second); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestFreeLoopbackAddrs(t *testing.T) {
+	addrs, err := FreeLoopbackAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate address %s", a)
+		}
+		seen[a] = true
+		if a == "" {
+			t.Fatal("empty address")
+		}
+	}
+	_ = fmt.Sprintf("%v", addrs)
+}

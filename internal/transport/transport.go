@@ -1,0 +1,239 @@
+// Package transport provides the in-memory secure-channel fabric the
+// protocol stack runs over. The paper assumes a secure pairwise channel
+// between every pair of parties (Section III-A); this package supplies
+// that abstraction for in-process simulation, instruments every message
+// with its logical round and byte size, and captures a trace that the
+// netsim package can replay over a simulated network to reproduce
+// Fig. 3(b).
+//
+// Parties are identified by dense indices 0..n-1. Per-pair channels are
+// FIFO and buffered, mimicking an asynchronous reliable network. Round
+// numbers are assigned explicitly by protocol code at Send call sites:
+// the protocols in this repository have static round structure, and an
+// explicit tag is both simpler and more faithful than inferring rounds
+// from runtime interleavings.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event records one message for tracing and replay.
+type Event struct {
+	Round int
+	From  int
+	To    int
+	Bytes int
+}
+
+// Stats summarises per-party traffic.
+type Stats struct {
+	MessagesSent []int64
+	BytesSent    []int64
+	// MaxRound is the highest round tag seen (tags may be sparse).
+	MaxRound int
+	// DistinctRounds is the number of distinct round tags used — the
+	// framework's actual communication-round count.
+	DistinctRounds int
+}
+
+// Option configures a Fabric.
+type Option func(*Fabric)
+
+// WithQueueCapacity sets the per-pair channel buffer (default 4096).
+func WithQueueCapacity(c int) Option {
+	return func(f *Fabric) { f.capacity = c }
+}
+
+// WithRecvTimeout makes Recv fail after d instead of blocking forever.
+// Failure-injection tests use it to turn dropped messages into clean
+// errors.
+func WithRecvTimeout(d time.Duration) Option {
+	return func(f *Fabric) { f.timeout = d }
+}
+
+// WithDropFilter installs a predicate that silently drops matching
+// messages, for failure-injection tests.
+func WithDropFilter(drop func(Event) bool) Option {
+	return func(f *Fabric) { f.drop = drop }
+}
+
+// WithoutTrace disables trace capture (benchmarks at large n avoid the
+// allocation).
+func WithoutTrace() Option {
+	return func(f *Fabric) { f.traceOff = true }
+}
+
+// Fabric is a complete graph of instrumented FIFO channels among n
+// parties. All methods are safe for concurrent use by the party
+// goroutines.
+type Fabric struct {
+	n        int
+	capacity int
+	timeout  time.Duration
+	drop     func(Event) bool
+	traceOff bool
+
+	queues [][]chan message // queues[from][to]
+
+	mu       sync.Mutex
+	trace    []Event
+	msgs     []int64
+	bytes    []int64
+	maxRound int
+	rounds   map[int]struct{}
+}
+
+type message struct {
+	payload any
+	bytes   int
+}
+
+// New creates a fabric for n parties.
+func New(n int, opts ...Option) (*Fabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: need at least one party, got %d", n)
+	}
+	f := &Fabric{n: n, capacity: 4096, msgs: make([]int64, n), bytes: make([]int64, n), rounds: make(map[int]struct{})}
+	for _, opt := range opts {
+		opt(f)
+	}
+	f.queues = make([][]chan message, n)
+	for i := range f.queues {
+		f.queues[i] = make([]chan message, n)
+		for j := range f.queues[i] {
+			f.queues[i][j] = make(chan message, f.capacity)
+		}
+	}
+	return f, nil
+}
+
+// N returns the number of parties.
+func (f *Fabric) N() int { return f.n }
+
+// Send delivers payload from one party to another, charging the given
+// byte size to the sender and tagging the message with the protocol
+// round. It returns an error for invalid endpoints or a full queue.
+func (f *Fabric) Send(round, from, to, bytes int, payload any) error {
+	if err := f.check(from, to); err != nil {
+		return err
+	}
+	ev := Event{Round: round, From: from, To: to, Bytes: bytes}
+	f.mu.Lock()
+	f.msgs[from]++
+	f.bytes[from] += int64(bytes)
+	if round > f.maxRound {
+		f.maxRound = round
+	}
+	f.rounds[round] = struct{}{}
+	if !f.traceOff {
+		f.trace = append(f.trace, ev)
+	}
+	dropped := f.drop != nil && f.drop(ev)
+	f.mu.Unlock()
+	if dropped {
+		return nil
+	}
+	select {
+	case f.queues[from][to] <- message{payload: payload, bytes: bytes}:
+		return nil
+	default:
+		return fmt.Errorf("transport: queue %d→%d full (capacity %d)", from, to, f.capacity)
+	}
+}
+
+// Recv blocks until a message from the given peer arrives (or the
+// configured timeout expires).
+func (f *Fabric) Recv(to, from int) (any, error) {
+	if err := f.check(from, to); err != nil {
+		return nil, err
+	}
+	if f.timeout <= 0 {
+		m := <-f.queues[from][to]
+		return m.payload, nil
+	}
+	select {
+	case m := <-f.queues[from][to]:
+		return m.payload, nil
+	case <-time.After(f.timeout):
+		return nil, fmt.Errorf("transport: timeout waiting for message %d→%d", from, to)
+	}
+}
+
+// Broadcast sends the same payload from one party to every other party,
+// charging bytes once per recipient (the paper's model has no physical
+// broadcast medium; a broadcast is n−1 unicasts).
+func (f *Fabric) Broadcast(round, from, bytes int, payload any) error {
+	for to := 0; to < f.n; to++ {
+		if to == from {
+			continue
+		}
+		if err := f.Send(round, from, to, bytes, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GatherAll receives one message from every other party, returned as a
+// slice indexed by sender (the self slot is nil).
+func (f *Fabric) GatherAll(to int) ([]any, error) {
+	out := make([]any, f.n)
+	for from := 0; from < f.n; from++ {
+		if from == to {
+			continue
+		}
+		p, err := f.Recv(to, from)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = p
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the per-party counters.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := Stats{
+		MessagesSent:   make([]int64, f.n),
+		BytesSent:      make([]int64, f.n),
+		MaxRound:       f.maxRound,
+		DistinctRounds: len(f.rounds),
+	}
+	copy(s.MessagesSent, f.msgs)
+	copy(s.BytesSent, f.bytes)
+	return s
+}
+
+// Trace returns a copy of the recorded message trace, ordered by send
+// time. Replay consumers group events by Round.
+func (f *Fabric) Trace() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, len(f.trace))
+	copy(out, f.trace)
+	return out
+}
+
+// TotalBytes sums bytes sent by all parties.
+func (s Stats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.BytesSent {
+		t += b
+	}
+	return t
+}
+
+func (f *Fabric) check(a, b int) error {
+	if a < 0 || a >= f.n || b < 0 || b >= f.n {
+		return fmt.Errorf("transport: party index out of range (%d, %d) with n=%d", a, b, f.n)
+	}
+	if a == b {
+		return fmt.Errorf("transport: party %d cannot message itself", a)
+	}
+	return nil
+}

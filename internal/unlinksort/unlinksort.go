@@ -1,0 +1,827 @@
+// Package unlinksort implements the paper's central contribution: the
+// identity-unlinkable multiparty sorting protocol (Fig. 1, steps 5–9,
+// "unlinkable gain comparison" and ranking extraction). Each of n parties
+// holds one l-bit unsigned value β_j; at the end each party learns only
+// the rank of its own value (1 = largest), and — provided at least two
+// parties are honest — no coalition of up to n−2 colluders can link an
+// inferred value interval to its owner's identity.
+//
+// The construction follows the paper exactly:
+//
+//  1. Every party generates an ElGamal key share and proves knowledge of
+//     it to all others with the multi-verifier Schnorr proof.
+//  2. Every party publishes the bitwise exponent-ElGamal encryption of
+//     its value under the joint key y = Π y_j.
+//  3. Every party homomorphically evaluates the comparison circuit
+//     γ, ω, τ of step 7 against every other party's ciphertext using its
+//     own bits in the clear: the resulting τ vector for pair (j, i)
+//     contains a zero iff β_j < β_i.
+//  4. The τ ciphertexts travel a decrypt-and-shuffle chain (step 8):
+//     each party strips its own key layer, exponent-blinds every
+//     ciphertext so non-zero plaintexts become uniformly random, and
+//     randomly permutes every set it does not own.
+//  5. Each owner decrypts its own returned set with its remaining key
+//     layer and counts zeros d; its rank is d+1.
+//
+// The package runs one party per goroutine over a transport.Fabric, so
+// byte and round accounting reflect the real message complexity
+// (O(l·n²) ciphertexts per party, O(n) rounds).
+package unlinksort
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"groupranking/internal/elgamal"
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/group"
+	"groupranking/internal/transport"
+	"groupranking/internal/zkp"
+)
+
+// Config fixes the protocol parameters shared by all parties.
+type Config struct {
+	// Group is the DDH-hard group for the ElGamal layer.
+	Group group.Group
+	// L is the bit width of the compared values.
+	L int
+	// SkipProofs disables the key-knowledge proofs (benchmarks that
+	// isolate comparison cost use it; the framework never does).
+	SkipProofs bool
+	// UnsafeNoReRandomize skips the re-randomisation of the τ
+	// ciphertexts in step 7. It exists ONLY for the ablation benchmark
+	// and the regression test that demonstrates the linkage attack this
+	// re-randomisation prevents (an adversary can otherwise recover an
+	// honest party's bits by comparing ciphertext components; see
+	// TestMissingReRandomizationLeaksBits). Never enable it in a
+	// deployment.
+	UnsafeNoReRandomize bool
+	// ProveDecryption makes every chain processor attach Chaum–Pedersen
+	// proofs that each key layer it strips uses its registered key
+	// share, verified by the next hop. This is an extension beyond the
+	// paper's honest-but-curious model: it catches wrong-key partial
+	// decryption (which would silently corrupt ranks) but not
+	// substitution during blinding or shuffling — full malicious
+	// security would additionally need verifiable-shuffle proofs, which
+	// the paper leaves out of scope.
+	ProveDecryption bool
+}
+
+func (c Config) validate() error {
+	if c.Group == nil {
+		return fmt.Errorf("unlinksort: missing group")
+	}
+	if c.L <= 0 {
+		return fmt.Errorf("unlinksort: bit width must be positive, got %d", c.L)
+	}
+	return nil
+}
+
+// Result is one party's protocol output.
+type Result struct {
+	// Rank is the party's 1-based rank, 1 = largest value. Ties share
+	// the same rank (the paper's tie rule).
+	Rank int
+	// Zeros is the number of zero plaintexts found, i.e. the number of
+	// parties with a strictly larger value; Rank = Zeros + 1.
+	Zeros int
+	// ZeroPositions are the indices within the returned (shuffled) set
+	// where the zeros appeared. The owner legitimately sees them; the
+	// unlinkability tests check they are uniformly distributed across
+	// reruns, which is what the chain's permutations guarantee.
+	ZeroPositions []int
+}
+
+// Protocol round tags for the transport trace (netsim replay groups
+// messages by these).
+const (
+	roundPublishKeys = iota + 1
+	roundProofCommit
+	roundProofChallenge
+	roundProofResponse
+	roundPublishBits
+	roundCollectTaus
+	roundChainBase // chain hop j uses roundChainBase + j
+)
+
+// Payload types exchanged over the fabric. Fields are exported so the
+// TCP transport can gob-encode them; the types themselves stay
+// package-private and are registered by RegisterWire.
+type (
+	bitsMsg struct {
+		Cts []elgamal.Ciphertext
+	}
+	tauSetMsg struct {
+		Set []elgamal.Ciphertext // (n−1)·L ciphertexts owned by the sender
+	}
+	vectorMsg struct {
+		V [][]elgamal.Ciphertext // indexed by owner
+		// The fields below are present only under Config.ProveDecryption.
+		// Input is the vector the sender received (bound to the
+		// hop-before-last's broadcast commitment, so the sender cannot
+		// fabricate it); Stripped is Input with the sender's key layer
+		// removed, in Input order (already known to the previous hop, so
+		// no permutation information leaks); Proofs[owner][i] is the
+		// Chaum–Pedersen transcript tying Input[owner][i] to
+		// Stripped[owner][i] under the sender's registered key share.
+		Input    [][]elgamal.Ciphertext
+		Stripped [][]elgamal.Ciphertext
+		Proofs   [][]zkp.EqualityTranscript
+	}
+	// anchorMsg commits every owner's original τ set before the chain
+	// starts (ProveDecryption mode).
+	anchorMsg struct {
+		Hash []byte
+	}
+	// commitMsg commits a chain hop's output vector, one hash per owner
+	// set (ProveDecryption mode).
+	commitMsg struct {
+		Hashes [][]byte
+	}
+	finalMsg struct {
+		Set []elgamal.Ciphertext
+	}
+)
+
+var _wireOnce sync.Once
+
+// RegisterWire registers every type this protocol sends over a
+// serialising transport (transport.TCPFabric). Safe to call repeatedly;
+// in-memory fabrics do not need it.
+func RegisterWire() {
+	_wireOnce.Do(func() {
+		group.RegisterGob()
+		gob.Register(zkp.EqualityTranscript{})
+		gob.Register(bitsMsg{})
+		gob.Register(tauSetMsg{})
+		gob.Register(vectorMsg{})
+		gob.Register(finalMsg{})
+		gob.Register(anchorMsg{})
+		gob.Register(commitMsg{})
+		gob.Register(new(big.Int))
+		gob.Register([]*big.Int{})
+	})
+}
+
+// Party runs one party's side of the protocol over the fabric: me is the
+// party index in [0, n), beta the party's l-bit value. Every party must
+// call Party concurrently with the same Config.
+func Party(cfg Config, me int, fab transport.Net, beta *big.Int, rng io.Reader) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	n := fab.N()
+	if n < 2 {
+		return Result{}, fmt.Errorf("unlinksort: need at least two parties, got %d", n)
+	}
+	if beta.Sign() < 0 || beta.BitLen() > cfg.L {
+		return Result{}, fmt.Errorf("unlinksort: value does not fit in %d bits", cfg.L)
+	}
+	scheme := elgamal.NewScheme(cfg.Group)
+
+	// Step 5: key generation and knowledge proofs.
+	key, joint, ys, err := keyPhase(cfg, scheme, me, fab, rng)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Step 6: publish the bitwise encryption of beta.
+	myBits, theirCts, err := publishBits(cfg, scheme, me, fab, joint, beta, rng)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Step 7: homomorphic comparison circuit against every other party.
+	mySet, err := compareAll(cfg, scheme, joint, myBits, theirCts, rng)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Step 8: decrypt-and-shuffle chain.
+	finalSet, err := chainPhase(cfg, scheme, me, fab, key, ys, mySet, rng)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Step 9: strip the last layer and count zeros.
+	var positions []int
+	for idx, ct := range finalSet {
+		if scheme.IsZero(key.X, ct) {
+			positions = append(positions, idx)
+		}
+	}
+	zeros := len(positions)
+	return Result{Rank: zeros + 1, Zeros: zeros, ZeroPositions: positions}, nil
+}
+
+// keyPhase publishes key shares, runs the n-verifier knowledge proofs,
+// and returns this party's key pair, the joint public key and every
+// party's key share (needed to verify chain decryption proofs).
+func keyPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, rng io.Reader) (*elgamal.KeyPair, group.Element, []group.Element, error) {
+	g := cfg.Group
+	n := fab.N()
+	key, err := scheme.GenerateKey(rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := fab.Broadcast(roundPublishKeys, me, g.ElementLen(), key.Y); err != nil {
+		return nil, nil, nil, err
+	}
+	received, err := fab.GatherAll(me)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ys := make([]group.Element, n)
+	for j := 0; j < n; j++ {
+		if j == me {
+			ys[j] = key.Y
+			continue
+		}
+		y, ok := received[j].(group.Element)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("unlinksort: party %d sent a malformed key share", j)
+		}
+		ys[j] = y
+	}
+
+	if !cfg.SkipProofs {
+		if err := proofPhase(cfg, me, fab, key, ys, rng); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return key, scheme.JointPublicKey(ys), ys, nil
+}
+
+// proofPhase interleaves all n multi-verifier Schnorr proofs: every
+// party is simultaneously the prover of its own key share and a verifier
+// of everyone else's, in three broadcast rounds.
+func proofPhase(cfg Config, me int, fab transport.Net, key *elgamal.KeyPair, ys []group.Element, rng io.Reader) error {
+	g := cfg.Group
+	n := fab.N()
+	scalarBytes := (g.Order().BitLen() + 7) / 8
+
+	prover := zkp.NewProver(g, key.X)
+	h, err := prover.Commit(rng)
+	if err != nil {
+		return err
+	}
+	if err := fab.Broadcast(roundProofCommit, me, g.ElementLen(), h); err != nil {
+		return err
+	}
+	commits, err := fab.GatherAll(me)
+	if err != nil {
+		return err
+	}
+
+	// One challenge share per foreign prover, broadcast as a slice
+	// indexed by prover.
+	myChallenges := make([]*big.Int, n)
+	for j := 0; j < n; j++ {
+		if j == me {
+			continue
+		}
+		if myChallenges[j], err = zkp.NewChallenge(g, rng); err != nil {
+			return err
+		}
+	}
+	if err := fab.Broadcast(roundProofChallenge, me, (n-1)*scalarBytes, myChallenges); err != nil {
+		return err
+	}
+	challengeMsgs, err := fab.GatherAll(me)
+	if err != nil {
+		return err
+	}
+	// Challenges addressed to me, one from each verifier.
+	toMe := make([]*big.Int, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j == me {
+			continue
+		}
+		cs, ok := challengeMsgs[j].([]*big.Int)
+		if !ok || len(cs) != n || cs[me] == nil {
+			return fmt.Errorf("unlinksort: party %d sent malformed challenges", j)
+		}
+		toMe = append(toMe, cs[me])
+	}
+	z, err := prover.Respond(toMe)
+	if err != nil {
+		return err
+	}
+	if err := fab.Broadcast(roundProofResponse, me, scalarBytes, z); err != nil {
+		return err
+	}
+	responses, err := fab.GatherAll(me)
+	if err != nil {
+		return err
+	}
+
+	// Verify every foreign proof against the challenge shares all
+	// verifiers published.
+	for j := 0; j < n; j++ {
+		if j == me {
+			continue
+		}
+		hj, ok := commits[j].(group.Element)
+		if !ok {
+			return fmt.Errorf("unlinksort: party %d sent a malformed proof commitment", j)
+		}
+		zj, ok := responses[j].(*big.Int)
+		if !ok {
+			return fmt.Errorf("unlinksort: party %d sent a malformed proof response", j)
+		}
+		var chalForJ []*big.Int
+		for v := 0; v < n; v++ {
+			if v == j {
+				continue
+			}
+			if v == me {
+				chalForJ = append(chalForJ, myChallenges[j])
+				continue
+			}
+			cs, ok := challengeMsgs[v].([]*big.Int)
+			if !ok || len(cs) != n || cs[j] == nil {
+				return fmt.Errorf("unlinksort: party %d sent malformed challenges", v)
+			}
+			chalForJ = append(chalForJ, cs[j])
+		}
+		if !zkp.Verify(cfg.Group, ys[j], hj, chalForJ, zj) {
+			return fmt.Errorf("unlinksort: party %d failed the key-knowledge proof", j)
+		}
+	}
+	return nil
+}
+
+// publishBits broadcasts E(β)_B and gathers everyone else's, returning
+// this party's plaintext bits and the foreign ciphertext vectors indexed
+// by party.
+func publishBits(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, joint group.Element, beta *big.Int, rng io.Reader) ([]uint8, [][]elgamal.Ciphertext, error) {
+	n := fab.N()
+	bits, err := fixedbig.Bits(beta, cfg.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	mine := make([]elgamal.Ciphertext, cfg.L)
+	for t, b := range bits {
+		if mine[t], err = scheme.EncryptExp(joint, big.NewInt(int64(b)), rng); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := fab.Broadcast(roundPublishBits, me, cfg.L*scheme.EncodedLen(), bitsMsg{Cts: mine}); err != nil {
+		return nil, nil, err
+	}
+	gathered, err := fab.GatherAll(me)
+	if err != nil {
+		return nil, nil, err
+	}
+	theirs := make([][]elgamal.Ciphertext, n)
+	for j := 0; j < n; j++ {
+		if j == me {
+			continue
+		}
+		msg, ok := gathered[j].(bitsMsg)
+		if !ok || len(msg.Cts) != cfg.L {
+			return nil, nil, fmt.Errorf("unlinksort: party %d sent a malformed bit vector", j)
+		}
+		theirs[j] = msg.Cts
+	}
+	return bits, theirs, nil
+}
+
+// compareAll evaluates the step-7 circuit of Fig. 1 against every other
+// party and returns this party's flattened τ set ((n−1)·L ciphertexts).
+// For each counterpart i and bit position t (1-based from the LSB):
+//
+//	γ^t = β_j^t ⊕ β_i^t            (affine in the ciphertext, β_j public to j)
+//	ω^t = (l−t+1)·(1−γ^t) + Σ_{v>t} γ^v
+//	τ^t = ω^t + β_j^t
+//
+// τ^t = 0 exactly at the most significant differing bit when that bit is
+// 1 in β_i and 0 in β_j, i.e. the set contains a zero iff β_j < β_i.
+func compareAll(cfg Config, scheme *elgamal.Scheme, joint group.Element, myBits []uint8, theirCts [][]elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+	l := cfg.L
+	set := make([]elgamal.Ciphertext, 0, (len(theirCts)-1)*l)
+	for _, cts := range theirCts {
+		if cts == nil {
+			continue // self slot
+		}
+		// E(γ^t): if my bit is 0, γ = β_i^t; if 1, γ = 1 − β_i^t.
+		gammas := make([]elgamal.Ciphertext, l)
+		for t := 0; t < l; t++ {
+			if myBits[t] == 0 {
+				gammas[t] = cts[t]
+			} else {
+				gammas[t] = scheme.AddPlain(scheme.Neg(cts[t]), big.NewInt(1))
+			}
+		}
+		// Suffix sums S_t = Σ_{v>t} γ^v (0-based index t ⇒ bits above t).
+		suffix := make([]elgamal.Ciphertext, l+1)
+		zero, err := scheme.EncryptExp(joint, big.NewInt(0), rng)
+		if err != nil {
+			return nil, err
+		}
+		suffix[l] = zero
+		for t := l - 1; t >= 0; t-- {
+			suffix[t] = scheme.Add(suffix[t+1], gammas[t])
+		}
+		for t := 0; t < l; t++ {
+			// Positions are 1-based in the paper; weight = l − t with
+			// 0-based t counting from the LSB... the paper's (l−t+1) with
+			// t ∈ [1, l] equals our (l−t) + 1 with t ∈ [0, l−1].
+			weight := big.NewInt(int64(l - t))
+			// ω = weight·(1−γ) + S_t  =  weight − weight·γ + S_t.
+			om := scheme.ScalarMul(gammas[t], new(big.Int).Neg(weight))
+			om = scheme.Add(om, suffix[t+1])
+			om = scheme.AddPlain(om, weight)
+			// τ = ω + β_j^t.
+			tau := scheme.AddPlain(om, big.NewInt(int64(myBits[t])))
+			// Re-randomise so the published τ is not a deterministic
+			// function of the published E(β_i) bits (which would leak
+			// β_j's bits by ciphertext comparison; the regression test
+			// TestMissingReRandomizationLeaksBits carries out that
+			// attack against the UnsafeNoReRandomize ablation).
+			if !cfg.UnsafeNoReRandomize {
+				if tau, err = scheme.ReRandomize(joint, tau, rng); err != nil {
+					return nil, err
+				}
+			}
+			set = append(set, tau)
+		}
+	}
+	return set, nil
+}
+
+// chainPhase implements step 8: all sets travel P_0 → P_1 → … → P_{n−1};
+// each party strips its key layer from, exponent-blinds, and permutes
+// every set it does not own; the last party returns each set to its
+// owner.
+//
+// Under Config.ProveDecryption the chain additionally carries integrity
+// evidence for the strip step: owners broadcast hash anchors of their
+// original sets, every hop broadcasts a hash commitment of its output
+// vector, and every hop's message includes the vector it received (bound
+// to the previous commitment) together with Chaum–Pedersen proofs that
+// each key layer was stripped with the registered share. Each hop
+// verifies its predecessor before processing.
+func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, key *elgamal.KeyPair, ys []group.Element, mySet []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+	n := fab.N()
+	ctBytes := scheme.EncodedLen()
+
+	// Owners anchor their sets (ProveDecryption) and hand them to P_0.
+	anchors := make([][]byte, n)
+	if cfg.ProveDecryption {
+		if err := fab.Broadcast(roundCollectTaus, me, 32, anchorMsg{Hash: hashSet(scheme, mySet)}); err != nil {
+			return nil, err
+		}
+	}
+	var v [][]elgamal.Ciphertext
+	if me == 0 {
+		v = make([][]elgamal.Ciphertext, n)
+		v[0] = mySet
+	} else {
+		if err := fab.Send(roundCollectTaus, me, 0, len(mySet)*ctBytes, tauSetMsg{Set: mySet}); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ProveDecryption {
+		for j := 0; j < n; j++ {
+			if j == me {
+				anchors[me] = hashSet(scheme, mySet)
+				continue
+			}
+			payload, err := fab.Recv(me, j)
+			if err != nil {
+				return nil, err
+			}
+			msg, ok := payload.(anchorMsg)
+			if !ok || len(msg.Hash) != 32 {
+				return nil, fmt.Errorf("unlinksort: party %d sent a malformed set anchor", j)
+			}
+			anchors[j] = msg.Hash
+		}
+	}
+	if me == 0 {
+		for j := 1; j < n; j++ {
+			payload, err := fab.Recv(0, j)
+			if err != nil {
+				return nil, err
+			}
+			msg, ok := payload.(tauSetMsg)
+			if !ok || len(msg.Set) != (n-1)*cfg.L {
+				return nil, fmt.Errorf("unlinksort: party %d sent a malformed τ set", j)
+			}
+			if cfg.ProveDecryption && !bytes.Equal(hashSet(scheme, msg.Set), anchors[j]) {
+				return nil, fmt.Errorf("unlinksort: party %d's τ set does not match its anchor", j)
+			}
+			v[j] = msg.Set
+		}
+	}
+
+	// The chain. Party me receives V from me−1 (except P_0 who starts),
+	// verifies its predecessor in ProveDecryption mode, processes every
+	// set it does not own, and forwards.
+	if me > 0 {
+		var prevCommit [][]byte
+		if cfg.ProveDecryption {
+			// The binding for the predecessor's claimed input: owners'
+			// anchors at the first hop, the hop-before-last's broadcast
+			// commitment afterwards.
+			if me == 1 {
+				prevCommit = anchors
+			} else {
+				payload, err := fab.Recv(me, me-2)
+				if err != nil {
+					return nil, err
+				}
+				msg, ok := payload.(commitMsg)
+				if !ok || len(msg.Hashes) != n {
+					return nil, fmt.Errorf("unlinksort: party %d sent a malformed output commitment", me-2)
+				}
+				prevCommit = msg.Hashes
+			}
+			// The predecessor's own commitment precedes its vector on
+			// the same channel.
+			payload, err := fab.Recv(me, me-1)
+			if err != nil {
+				return nil, err
+			}
+			if msg, ok := payload.(commitMsg); !ok || len(msg.Hashes) != n {
+				return nil, fmt.Errorf("unlinksort: party %d sent a malformed output commitment", me-1)
+			}
+		}
+		payload, err := fab.Recv(me, me-1)
+		if err != nil {
+			return nil, err
+		}
+		msg, ok := payload.(vectorMsg)
+		if !ok || len(msg.V) != n {
+			return nil, fmt.Errorf("unlinksort: malformed chain vector from party %d", me-1)
+		}
+		if cfg.ProveDecryption {
+			if err := verifyChainHop(cfg, scheme, me-1, ys[me-1], prevCommit, msg); err != nil {
+				return nil, err
+			}
+		}
+		v = msg.V
+	}
+
+	out := vectorMsg{V: make([][]elgamal.Ciphertext, n)}
+	if cfg.ProveDecryption {
+		out.Input = v
+		out.Stripped = make([][]elgamal.Ciphertext, n)
+		out.Proofs = make([][]zkp.EqualityTranscript, n)
+	}
+	for owner := 0; owner < n; owner++ {
+		if owner == me {
+			out.V[owner] = v[owner]
+			continue
+		}
+		if cfg.ProveDecryption {
+			stripped, proofs, err := stripWithProofs(cfg, scheme, key, v[owner], rng)
+			if err != nil {
+				return nil, err
+			}
+			out.Stripped[owner] = stripped
+			out.Proofs[owner] = proofs
+			if out.V[owner], err = blindAndShuffle(scheme, stripped, rng); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		processed, err := processSet(scheme, key.X, v[owner], rng)
+		if err != nil {
+			return nil, err
+		}
+		out.V[owner] = processed
+	}
+
+	vectorBytes := n * (n - 1) * cfg.L * ctBytes
+	if cfg.ProveDecryption {
+		// Input + Stripped + 4 proof values per ciphertext ≈ 5× payload.
+		vectorBytes *= 5
+		hashes := make([][]byte, n)
+		for owner := range out.V {
+			hashes[owner] = hashSet(scheme, out.V[owner])
+		}
+		if err := fab.Broadcast(roundChainBase+me, me, n*32, commitMsg{Hashes: hashes}); err != nil {
+			return nil, err
+		}
+	}
+	if me < n-1 {
+		if err := fab.Send(roundChainBase+me, me, me+1, vectorBytes, out); err != nil {
+			return nil, err
+		}
+	} else {
+		// Last hop: return each set to its owner.
+		for owner := 0; owner < n-1; owner++ {
+			if err := fab.Send(roundChainBase+me, me, owner, len(out.V[owner])*ctBytes, finalMsg{Set: out.V[owner]}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Receive my fully processed set.
+	if me == n-1 {
+		return out.V[me], nil
+	}
+	if cfg.ProveDecryption {
+		// The last hop's commitment broadcast precedes the final set on
+		// the same channel: consume it and verify the final set against
+		// it. Other hops' commitment broadcasts to non-successors stay
+		// queued unread, which is harmless on per-pair channels.
+		payload, err := fab.Recv(me, n-1)
+		if err != nil {
+			return nil, err
+		}
+		commit, ok := payload.(commitMsg)
+		if !ok || len(commit.Hashes) != n {
+			return nil, fmt.Errorf("unlinksort: party %d sent a malformed final commitment", n-1)
+		}
+		payload, err = fab.Recv(me, n-1)
+		if err != nil {
+			return nil, err
+		}
+		msg, ok := payload.(finalMsg)
+		if !ok || len(msg.Set) != len(mySet) {
+			return nil, fmt.Errorf("unlinksort: malformed final set from party %d", n-1)
+		}
+		if !bytes.Equal(hashSet(scheme, msg.Set), commit.Hashes[me]) {
+			return nil, fmt.Errorf("unlinksort: final set does not match party %d's commitment", n-1)
+		}
+		return msg.Set, nil
+	}
+	payload, err := fab.Recv(me, n-1)
+	if err != nil {
+		return nil, err
+	}
+	msg, ok := payload.(finalMsg)
+	if !ok || len(msg.Set) != len(mySet) {
+		return nil, fmt.Errorf("unlinksort: malformed final set from party %d", n-1)
+	}
+	return msg.Set, nil
+}
+
+// hashSet commits a ciphertext set (SHA-256 over the encoded sequence).
+func hashSet(scheme *elgamal.Scheme, set []elgamal.Ciphertext) []byte {
+	h := sha256.New()
+	for _, ct := range set {
+		h.Write(scheme.Encode(ct))
+	}
+	return h.Sum(nil)
+}
+
+// verifyChainHop checks a predecessor's message in ProveDecryption mode:
+// its claimed Input matches the previous commitment; every strip proof
+// verifies under the predecessor's registered key share; the untouched
+// own set passed through unmodified.
+func verifyChainHop(cfg Config, scheme *elgamal.Scheme, prev int, prevKey group.Element, prevCommit [][]byte, msg vectorMsg) error {
+	n := len(msg.V)
+	if len(msg.Input) != n || len(msg.Stripped) != n || len(msg.Proofs) != n {
+		return fmt.Errorf("unlinksort: party %d omitted decryption evidence", prev)
+	}
+	for owner := 0; owner < n; owner++ {
+		if !bytes.Equal(hashSet(scheme, msg.Input[owner]), prevCommit[owner]) {
+			return fmt.Errorf("unlinksort: party %d's claimed input for owner %d does not match the committed vector", prev, owner)
+		}
+		if owner == prev {
+			// The predecessor does not process its own set; it must pass
+			// through byte-identical.
+			if !bytes.Equal(hashSet(scheme, msg.V[owner]), hashSet(scheme, msg.Input[owner])) {
+				return fmt.Errorf("unlinksort: party %d modified its own set in transit", prev)
+			}
+			continue
+		}
+		if len(msg.Proofs[owner]) != len(msg.Input[owner]) || len(msg.Stripped[owner]) != len(msg.Input[owner]) {
+			return fmt.Errorf("unlinksort: party %d sent mismatched evidence for owner %d", prev, owner)
+		}
+		for i := range msg.Input[owner] {
+			in, st := msg.Input[owner][i], msg.Stripped[owner][i]
+			if !cfg.Group.Equal(in.C1, st.C1) {
+				return fmt.Errorf("unlinksort: party %d altered ciphertext randomness for owner %d", prev, owner)
+			}
+			if !zkp.VerifyPartialDecryption(cfg.Group, prevKey, in.C1, in.C, st.C, msg.Proofs[owner][i]) {
+				return fmt.Errorf("unlinksort: party %d failed decryption proof %d of owner %d", prev, i, owner)
+			}
+		}
+	}
+	return nil
+}
+
+// processSet strips this party's key layer from every ciphertext,
+// exponent-blinds it (zero plaintexts stay zero, everything else becomes
+// uniformly random), and applies a fresh random permutation.
+func processSet(scheme *elgamal.Scheme, x *big.Int, set []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+	out := make([]elgamal.Ciphertext, len(set))
+	for i, ct := range set {
+		stripped := scheme.PartialDecrypt(x, ct)
+		blinded, err := scheme.ExponentBlind(stripped, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = blinded
+	}
+	if err := shuffle(out, rng); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stripWithProofs strips the key layer from every ciphertext and proves
+// each strip with a Chaum–Pedersen transcript, in the set's received
+// order so no permutation information leaks.
+func stripWithProofs(cfg Config, scheme *elgamal.Scheme, key *elgamal.KeyPair, set []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, []zkp.EqualityTranscript, error) {
+	stripped := make([]elgamal.Ciphertext, len(set))
+	proofs := make([]zkp.EqualityTranscript, len(set))
+	for i, ct := range set {
+		stripped[i] = scheme.PartialDecrypt(key.X, ct)
+		proof, err := zkp.ProvePartialDecryption(cfg.Group, key.X, key.Y, ct.C1, ct.C, stripped[i].C, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		proofs[i] = proof
+	}
+	return stripped, proofs, nil
+}
+
+// blindAndShuffle exponent-blinds and permutes an already-stripped set.
+func blindAndShuffle(scheme *elgamal.Scheme, set []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+	out := make([]elgamal.Ciphertext, len(set))
+	for i, ct := range set {
+		blinded, err := scheme.ExponentBlind(ct, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = blinded
+	}
+	if err := shuffle(out, rng); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// shuffle is a Fisher–Yates permutation driven by the protocol RNG.
+func shuffle(set []elgamal.Ciphertext, rng io.Reader) error {
+	for i := len(set) - 1; i > 0; i-- {
+		jBig, err := fixedbig.RandInt(rng, big.NewInt(int64(i+1)))
+		if err != nil {
+			return err
+		}
+		j := int(jBig.Int64())
+		set[i], set[j] = set[j], set[i]
+	}
+	return nil
+}
+
+// Run executes the whole protocol in-process, one goroutine per party,
+// with deterministic per-party randomness derived from seed. It returns
+// the per-party results (indexed by party) and the fabric for stats and
+// trace inspection.
+func Run(cfg Config, betas []*big.Int, seed string, opts ...transport.Option) ([]Result, *transport.Fabric, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	n := len(betas)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("unlinksort: need at least two parties, got %d", n)
+	}
+	// Validate inputs before spawning: a party that fails before its
+	// first send would leave the others blocked on a receive.
+	for j, beta := range betas {
+		if beta.Sign() < 0 || beta.BitLen() > cfg.L {
+			return nil, nil, fmt.Errorf("unlinksort: party %d value does not fit in %d bits", j, cfg.L)
+		}
+	}
+	fab, err := transport.New(n, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for p := 0; p < n; p++ {
+		p := p
+		go func() {
+			defer func() { done <- p }()
+			rng := fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", seed, p))
+			res, err := Party(cfg, p, fab, betas[p], rng)
+			if err != nil {
+				errs[p] = fmt.Errorf("party %d: %w", p, err)
+				return
+			}
+			results[p] = res
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, fab, err
+		}
+	}
+	return results, fab, nil
+}

@@ -1,0 +1,113 @@
+package groupranking
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/group"
+	"groupranking/internal/transport"
+	"groupranking/internal/unlinksort"
+)
+
+// SortOptions tunes UnlinkableSort.
+type SortOptions struct {
+	// GroupName picks the DDH group (default secp160r1).
+	GroupName string
+	// Bits is the value bit width; 0 derives it from the largest value.
+	Bits int
+	// Seed makes the run deterministic; empty draws a fresh random seed.
+	Seed string
+}
+
+// UnlinkableSort runs the paper's identity-unlinkable multiparty sorting
+// protocol over the given values, one in-process party per value, and
+// returns each party's rank (1 = largest; equal values share a rank).
+//
+// The privacy property this simulates: each party learns only its own
+// rank, and an adversary controlling up to n−2 parties cannot link an
+// honest party's value to its identity as long as that party's rank
+// stays hidden.
+func UnlinkableSort(values []uint64, opts SortOptions) ([]int, error) {
+	if len(values) < 2 {
+		return nil, fmt.Errorf("groupranking: need at least two values, got %d", len(values))
+	}
+	if opts.GroupName == "" {
+		opts.GroupName = "secp160r1"
+	}
+	if opts.Bits == 0 {
+		for _, v := range values {
+			if b := big.NewInt(0).SetUint64(v).BitLen(); b > opts.Bits {
+				opts.Bits = b
+			}
+		}
+		if opts.Bits == 0 {
+			opts.Bits = 1
+		}
+	}
+	if opts.Seed == "" {
+		var raw [16]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return nil, fmt.Errorf("groupranking: drawing seed: %w", err)
+		}
+		opts.Seed = hex.EncodeToString(raw[:])
+	}
+	g, err := group.ByName(opts.GroupName)
+	if err != nil {
+		return nil, err
+	}
+	betas := make([]*big.Int, len(values))
+	for i, v := range values {
+		betas[i] = new(big.Int).SetUint64(v)
+	}
+	results, _, err := unlinksort.Run(unlinksort.Config{Group: g, L: opts.Bits}, betas, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]int, len(results))
+	for i, r := range results {
+		ranks[i] = r.Rank
+	}
+	return ranks, nil
+}
+
+// UnlinkableSortParty runs one party of the identity-unlinkable sorting
+// protocol over real TCP: addrs lists every party's listen address
+// (this party listens on addrs[me]), value is this party's private
+// input, and the returned rank is all this party learns. All parties
+// must agree on opts.Bits (it is required here: unlike UnlinkableSort,
+// no single process sees all values to derive a width from) and call
+// concurrently. This is the deployment entry point for the paper's
+// fully distributed setting.
+func UnlinkableSortParty(addrs []string, me int, value uint64, opts SortOptions) (int, error) {
+	if opts.Bits <= 0 {
+		return 0, fmt.Errorf("groupranking: distributed sorting requires an agreed Bits value")
+	}
+	if opts.GroupName == "" {
+		opts.GroupName = "secp160r1"
+	}
+	g, err := group.ByName(opts.GroupName)
+	if err != nil {
+		return 0, err
+	}
+	unlinksort.RegisterWire()
+	fab, err := transport.NewTCPFabric(addrs, me, 2*time.Minute)
+	if err != nil {
+		return 0, err
+	}
+	defer fab.Close()
+	var rng io.Reader = rand.Reader
+	if opts.Seed != "" {
+		rng = fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", opts.Seed, me))
+	}
+	res, err := unlinksort.Party(unlinksort.Config{Group: g, L: opts.Bits}, me, fab,
+		new(big.Int).SetUint64(value), rng)
+	if err != nil {
+		return 0, err
+	}
+	return res.Rank, nil
+}
