@@ -1,0 +1,40 @@
+# Development targets. `make check` is the tier-1 gate plus the race
+# detector over the concurrency-heavy packages; run it before pushing.
+
+GO ?= go
+
+# Packages whose tests exercise real concurrency (one goroutine per
+# protocol party, fault-injection delays, TCP pumps): these run under
+# the race detector in short mode as part of check.
+RACE_PKGS := ./internal/transport/ ./internal/core/ ./internal/unlinksort/
+
+.PHONY: check vet build test race chaos bench clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode keeps the race pass fast; the full chaos sweep runs
+# race-free in `test` and under the detector via `make race-full`.
+race:
+	$(GO) test -race -short $(RACE_PKGS)
+
+race-full:
+	$(GO) test -race $(RACE_PKGS) ./internal/chaos/
+
+# The randomized fault-injection suite at full schedule count.
+chaos:
+	$(GO) test -v -run 'TestChaos|TestCrash' ./internal/chaos/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -20,10 +20,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"groupranking"
 	"groupranking/internal/fixedbig"
@@ -59,6 +61,16 @@ func main() {
 		groupName = flag.String("group", "secp160r1", "DDH group (modp-1024/2048/3072, secp160r1/224r1/256r1, toy-dl-256)")
 		sorter    = flag.String("sorter", "unlinkable", "phase-2 protocol: unlinkable or secret-sharing")
 		seed      = flag.String("seed", "", "deterministic seed (empty = random)")
+		timeout   = flag.Duration("timeout", 0, "whole-run deadline (0 = none); expiry aborts cleanly")
+
+		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault-injection schedule (reproducible chaos)")
+		faultDrop    = flag.Float64("fault-drop", 0, "per-message drop probability [0, 1]")
+		faultDup     = flag.Float64("fault-dup", 0, "per-message duplication probability [0, 1]")
+		faultReorder = flag.Float64("fault-reorder", 0, "per-message reorder probability [0, 1]")
+		faultCorrupt = flag.Float64("fault-corrupt", 0, "per-message corruption probability [0, 1]")
+		faultDelay   = flag.Float64("fault-delay", 0, "per-message delay probability [0, 1]")
+		crashParty   = flag.Int("fault-crash-party", -1, "party index to crash (-1 = none; 0 = initiator)")
+		crashRound   = flag.Int("fault-crash-round", 0, "round at which the crashed party dies")
 	)
 	flag.Parse()
 
@@ -84,7 +96,28 @@ func main() {
 		GroupName: *groupName,
 		K:         *k,
 		D1:        *d1, D2: *d2, H: *h,
-		Seed: *seed,
+		Seed:    *seed,
+		Timeout: *timeout,
+	}
+	if *faultDrop > 0 || *faultDup > 0 || *faultReorder > 0 || *faultCorrupt > 0 ||
+		*faultDelay > 0 || *crashParty >= 0 {
+		plan := &groupranking.FaultPlan{
+			Seed:      *faultSeed,
+			Drop:      *faultDrop,
+			Duplicate: *faultDup,
+			Reorder:   *faultReorder,
+			Corrupt:   *faultCorrupt,
+			Delay:     *faultDelay,
+		}
+		if *crashParty >= 0 {
+			plan.Rules = append(plan.Rules, groupranking.CrashAt(*crashParty, *crashRound))
+		}
+		opts.Faults = plan
+		if opts.Timeout == 0 {
+			// A lossy run with no deadline could wait forever on a message
+			// that was dropped; a default deadline keeps aborts prompt.
+			opts.Timeout = 30 * time.Second
+		}
 	}
 	switch *sorter {
 	case "unlinkable":
@@ -97,6 +130,11 @@ func main() {
 
 	res, err := groupranking.Rank(q, crit, profiles, opts)
 	if err != nil {
+		var abort *groupranking.AbortError
+		if errors.As(err, &abort) {
+			log.Fatalf("run aborted cleanly (party %d, phase %q, round %d): %v",
+				abort.Party, abort.Phase, abort.Round, err)
+		}
 		log.Fatal(err)
 	}
 

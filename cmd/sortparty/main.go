@@ -14,15 +14,23 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
+	"time"
 
 	"groupranking"
+	"groupranking/internal/transport"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("sortparty: ")
 	var (
@@ -32,24 +40,44 @@ func main() {
 		bits      = flag.Int("bits", 16, "agreed bit width of all values")
 		groupName = flag.String("group", "secp160r1", "agreed DDH group")
 		seed      = flag.String("seed", "", "deterministic seed (testing only; empty = crypto/rand)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "protocol deadline and per-receive bound")
 	)
 	flag.Parse()
 
 	addrs := strings.Split(*addrsFlag, ",")
 	if *addrsFlag == "" || len(addrs) < 2 {
-		log.Fatal("need -addrs with at least two comma-separated addresses")
+		log.Print("need -addrs with at least two comma-separated addresses")
+		return 2
 	}
 	if *me < 0 || *me >= len(addrs) {
-		log.Fatalf("-me %d outside the address list (%d entries)", *me, len(addrs))
+		log.Printf("-me %d outside the address list (%d entries)", *me, len(addrs))
+		return 2
 	}
 
 	rank, err := groupranking.UnlinkableSortParty(addrs, *me, *value, groupranking.SortOptions{
 		Bits:      *bits,
 		GroupName: *groupName,
 		Seed:      *seed,
+		Timeout:   *timeout,
 	})
 	if err != nil {
-		log.Fatal(err)
+		// A peer failure carries the abort protocol's diagnosis: which
+		// party failed, in which phase, waiting on which round.
+		var abort *transport.AbortError
+		if errors.As(err, &abort) {
+			switch {
+			case errors.Is(err, transport.ErrPeerDown) && abort.Party >= 0 && abort.Party < len(addrs):
+				log.Printf("aborting: party %d (address %s) is down — %v", abort.Party, addrs[abort.Party], err)
+			case errors.Is(err, transport.ErrTimeout):
+				log.Printf("aborting: timed out waiting for party %d — %v", abort.Party, err)
+			default:
+				log.Printf("aborting: %v", err)
+			}
+			return 1
+		}
+		log.Print(err)
+		return 1
 	}
 	fmt.Printf("party %d: my value ranks #%d among %d parties (1 = largest)\n", *me, rank, len(addrs))
+	return 0
 }

@@ -27,13 +27,16 @@
 package groupranking
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
 	"math/big"
+	"time"
 
 	"groupranking/internal/core"
 	"groupranking/internal/group"
+	"groupranking/internal/transport"
 	"groupranking/internal/workload"
 )
 
@@ -104,7 +107,35 @@ type Options struct {
 	// roughly quintuples comparison-phase traffic and catches wrong-key
 	// decryption, a step beyond the paper's honest-but-curious model.
 	ProveDecryption bool
+	// Timeout bounds the whole run; 0 means no deadline. When the
+	// deadline fires, every party aborts with a typed error instead of
+	// hanging.
+	Timeout time.Duration
+	// Faults, when non-nil, injects deterministic message faults (drops,
+	// duplicates, reorders, corruption, link severs, party crashes) into
+	// the run for robustness testing. See FaultPlan.
+	Faults *FaultPlan
 }
+
+// FaultPlan describes a deterministic fault-injection schedule; see
+// transport.FaultPlan for field semantics. Runs with a fault plan end
+// either in a correct ranking or a clean typed *transport.AbortError —
+// never a wrong ranking and never a hang.
+type FaultPlan = transport.FaultPlan
+
+// FaultRule targets one fault at specific rounds and links.
+type FaultRule = transport.FaultRule
+
+// CrashAt builds the fault rule that crashes a party at a given round
+// (party 0 is the initiator; participants are 1..n).
+func CrashAt(party, round int) FaultRule {
+	return transport.CrashAt(party, round)
+}
+
+// AbortError is the typed failure every aborted run surfaces: the first
+// failing party, protocol phase and round. Test with transport.IsAbort
+// or errors.As.
+type AbortError = transport.AbortError
 
 func (o Options) withDefaults(n int) (Options, error) {
 	if o.GroupName == "" {
@@ -171,11 +202,24 @@ func Rank(q *Questionnaire, criterion Criterion, profiles []Profile, opts Option
 		Group: g, Sorter: o.Sorter, SkipProofs: o.SkipProofs,
 		ProveDecryption: o.ProveDecryption,
 	}
-	res, fab, err := core.Run(params, core.Inputs{
+	ctx := context.Background()
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+	var wrap func(transport.Net) transport.Net
+	if o.Faults != nil {
+		plan := *o.Faults
+		wrap = func(n transport.Net) transport.Net {
+			return transport.NewFaultNet(n, plan)
+		}
+	}
+	res, fab, err := core.RunCtx(ctx, params, core.Inputs{
 		Questionnaire: q,
 		Criterion:     criterion,
 		Profiles:      profiles,
-	}, o.Seed)
+	}, o.Seed, wrap)
 	if err != nil {
 		return nil, err
 	}

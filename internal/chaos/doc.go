@@ -1,0 +1,16 @@
+// Package chaos holds the randomized fault-injection test suite for the
+// protocol runtime. Each test drives a full protocol run — the complete
+// three-phase framework or the standalone unlinkable sort — under a
+// seeded, reproducible fault schedule (message drops, delays,
+// duplicates, reorders, corruption, link severs and party crashes) and
+// asserts the runtime's safety contract:
+//
+//   - a run either produces the correct ranking or fails with a clean
+//     typed *transport.AbortError — never a wrong ranking;
+//   - no run hangs: cancellation, receive timeouts and crash detection
+//     bound every wait;
+//   - no run leaks goroutines: every party winds down after abort.
+//
+// There is no non-test code here; the package exists so the chaos suite
+// has a home that is independent of any one protocol package.
+package chaos

@@ -18,7 +18,9 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -208,6 +210,13 @@ type initiatorState struct {
 // index 0 of n+1). It returns the received submissions and the flagged
 // participants.
 func RunInitiator(params Params, q *workload.Questionnaire, crit workload.Criterion, fab transport.Net, rng io.Reader) ([]Submission, []int, error) {
+	return RunInitiatorCtx(context.Background(), params, q, crit, fab, rng)
+}
+
+// RunInitiatorCtx is RunInitiator with cancellation: every blocking
+// receive honours ctx and failures surface as typed *AbortError values
+// naming the peer, phase and round being waited on.
+func RunInitiatorCtx(ctx context.Context, params Params, q *workload.Questionnaire, crit workload.Criterion, fab transport.Net, rng io.Reader) ([]Submission, []int, error) {
 	if err := params.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -233,9 +242,9 @@ func RunInitiator(params Params, q *workload.Questionnaire, crit workload.Criter
 	// Steps 3-4: answer each participant's dot-product flow with her own
 	// random offset ρ_j.
 	st := initiatorState{rho: rho, rhoJ: make([]*big.Int, params.N)}
-	flows, err := fab.GatherAll(0)
+	flows, err := fab.GatherAllCtx(ctx, 0, roundGainRequest)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, transport.AnnotatePhase(err, "gain")
 	}
 	for j := 1; j <= params.N; j++ {
 		msg, ok := flows[j].(*dotprod.BobMessage)
@@ -252,14 +261,14 @@ func RunInitiator(params Params, q *workload.Questionnaire, crit workload.Criter
 			return nil, nil, fmt.Errorf("core: answering participant %d: %w", j, err)
 		}
 		if err := fab.Send(roundGainReply, 0, j, reply.WireBytes(dp), reply); err != nil {
-			return nil, nil, err
+			return nil, nil, transport.AnnotatePhase(err, "gain")
 		}
 	}
 
 	// Phase 3: collect one submission or decline from every participant.
-	subs, err := fab.GatherAll(0)
+	subs, err := fab.GatherAllCtx(ctx, 0, roundSubmission)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, transport.AnnotatePhase(err, "submission")
 	}
 	var submissions []Submission
 	for j := 1; j <= params.N; j++ {
@@ -335,6 +344,12 @@ type ParticipantOutput struct {
 // RunParticipant executes participant j's side (fabric index j with
 // 1 ≤ j ≤ n; index 0 is the initiator).
 func RunParticipant(params Params, j int, q *workload.Questionnaire, profile workload.Profile, fab transport.Net, rng io.Reader) (ParticipantOutput, error) {
+	return RunParticipantCtx(context.Background(), params, j, q, profile, fab, rng)
+}
+
+// RunParticipantCtx is RunParticipant with cancellation threaded
+// through every phase, including the phase-2 sorting subprotocol.
+func RunParticipantCtx(ctx context.Context, params Params, j int, q *workload.Questionnaire, profile workload.Profile, fab transport.Net, rng io.Reader) (ParticipantOutput, error) {
 	var out ParticipantOutput
 	if err := params.Validate(); err != nil {
 		return out, err
@@ -359,11 +374,11 @@ func RunParticipant(params Params, j int, q *workload.Questionnaire, profile wor
 		return out, err
 	}
 	if err := fab.Send(roundGainRequest, j, 0, flow.WireBytes(dp), flow); err != nil {
-		return out, err
+		return out, transport.AnnotatePhase(err, "gain")
 	}
-	payload, err := fab.Recv(j, 0)
+	payload, err := fab.RecvCtx(ctx, j, 0, roundGainReply)
 	if err != nil {
-		return out, err
+		return out, transport.AnnotatePhase(err, "gain")
 	}
 	reply, ok := payload.(*dotprod.AliceReply)
 	if !ok {
@@ -391,7 +406,7 @@ func RunParticipant(params Params, j int, q *workload.Questionnaire, profile wor
 	}
 	switch params.Sorter {
 	case SorterUnlinkable:
-		res, err := unlinksort.Party(unlinksort.Config{
+		res, err := unlinksort.PartyCtx(ctx, unlinksort.Config{
 			Group:           params.Group,
 			L:               l,
 			SkipProofs:      params.SkipProofs,
@@ -402,7 +417,7 @@ func RunParticipant(params Params, j int, q *workload.Questionnaire, profile wor
 		}
 		out.Rank = res.Rank
 	case SorterSecretSharing:
-		rank, err := ssBaselineRank(params, j-1, sub, betaU, rng)
+		rank, err := ssBaselineRank(ctx, params, j-1, sub, betaU, rng)
 		if err != nil {
 			return out, err
 		}
@@ -419,7 +434,7 @@ func RunParticipant(params Params, j int, q *workload.Questionnaire, profile wor
 		bytes = 8 * (1 + len(msg.Values))
 	}
 	if err := fab.Send(roundSubmission, j, 0, bytes, msg); err != nil {
-		return out, err
+		return out, transport.AnnotatePhase(err, "submission")
 	}
 	return out, nil
 }
@@ -427,7 +442,7 @@ func RunParticipant(params Params, j int, q *workload.Questionnaire, profile wor
 // ssBaselineRank runs the baseline phase 2: all β values are secret
 // shared, sorted with the Batcher network, opened, and each participant
 // locates her own β in the sorted sequence.
-func ssBaselineRank(params Params, me int, net transport.Net, betaU *big.Int, rng io.Reader) (int, error) {
+func ssBaselineRank(ctx context.Context, params Params, me int, net transport.Net, betaU *big.Int, rng io.Reader) (int, error) {
 	prime, err := params.ssFieldPrime()
 	if err != nil {
 		return 0, err
@@ -438,7 +453,7 @@ func ssBaselineRank(params Params, me int, net transport.Net, betaU *big.Int, rn
 		P:      prime,
 		Kappa:  params.Kappa,
 	}
-	eng, err := ssmpc.NewEngine(cfg, me, net, rng)
+	eng, err := ssmpc.NewEngineCtx(ctx, cfg, me, net, rng)
 	if err != nil {
 		return 0, err
 	}
@@ -470,6 +485,17 @@ type Inputs struct {
 // participants as goroutines over one fabric. seed derives each party's
 // deterministic randomness; pass distinct seeds for independent runs.
 func Run(params Params, in Inputs, seed string, opts ...transport.Option) (*Result, *transport.Fabric, error) {
+	return RunCtx(context.Background(), params, in, seed, nil, opts...)
+}
+
+// RunCtx is Run with cancellation and an optional transport wrapper.
+// The first party to fail cancels every sibling, so a crash or fault
+// never leaves the run hanging: the returned error is always a typed
+// *AbortError naming the first failing party, phase and round. wrap, if
+// non-nil, decorates the fabric every party talks through (e.g. with a
+// transport.FaultNet for chaos testing); the undecorated fabric is still
+// returned for trace and stats inspection.
+func RunCtx(ctx context.Context, params Params, in Inputs, seed string, wrap func(transport.Net) transport.Net, opts ...transport.Option) (*Result, *transport.Fabric, error) {
 	if err := params.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -487,6 +513,14 @@ func Run(params Params, in Inputs, seed string, opts ...transport.Option) (*Resu
 	if err != nil {
 		return nil, nil, err
 	}
+	var net transport.Net = fab
+	if wrap != nil {
+		net = wrap(fab)
+	}
+	// One failed party cancels its siblings so nobody blocks forever on a
+	// message that will never arrive.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	type initOut struct {
 		subs    []Submission
@@ -496,7 +530,10 @@ func Run(params Params, in Inputs, seed string, opts ...transport.Option) (*Resu
 	initCh := make(chan initOut, 1)
 	go func() {
 		rng := fixedbig.NewDRBG(seed + "-initiator")
-		subs, flagged, err := RunInitiator(params, in.Questionnaire, in.Criterion, fab, rng)
+		subs, flagged, err := RunInitiatorCtx(runCtx, params, in.Questionnaire, in.Criterion, net, rng)
+		if err != nil {
+			cancel()
+		}
 		initCh <- initOut{subs: subs, flagged: flagged, err: err}
 	}()
 
@@ -510,7 +547,10 @@ func Run(params Params, in Inputs, seed string, opts ...transport.Option) (*Resu
 		j := j
 		go func() {
 			rng := fixedbig.NewDRBG(fmt.Sprintf("%s-participant-%d", seed, j))
-			out, err := RunParticipant(params, j, in.Questionnaire, in.Profiles[j-1], fab, rng)
+			out, err := RunParticipantCtx(runCtx, params, j, in.Questionnaire, in.Profiles[j-1], net, rng)
+			if err != nil {
+				cancel()
+			}
 			partCh <- partOut{j: j, out: out, err: err}
 		}()
 	}
@@ -519,23 +559,29 @@ func Run(params Params, in Inputs, seed string, opts ...transport.Option) (*Resu
 		Ranks: make([]int, params.N),
 		Betas: make([]*big.Int, params.N),
 	}
+	// Prefer the root-cause error: cancellation aborts are secondary
+	// effects of the first real failure.
 	var firstErr error
+	keep := func(err error) {
+		if err == nil {
+			return
+		}
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			firstErr = err
+		}
+	}
 	for i := 0; i < params.N; i++ {
 		po := <-partCh
-		if po.err != nil && firstErr == nil {
-			firstErr = po.err
-		}
+		keep(po.err)
 		if po.err == nil {
 			result.Ranks[po.j-1] = po.out.Rank
 			result.Betas[po.j-1] = po.out.Beta
 		}
 	}
 	io := <-initCh
-	if io.err != nil && firstErr == nil {
-		firstErr = io.err
-	}
+	keep(io.err)
 	if firstErr != nil {
-		return nil, fab, firstErr
+		return nil, fab, transport.EnsureAbort(firstErr, -1, "framework")
 	}
 	result.Submissions = io.subs
 	result.Suspicious = io.flagged

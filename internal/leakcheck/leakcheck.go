@@ -1,0 +1,60 @@
+// Package leakcheck is a dependency-free goroutine leak detector for
+// tests: Check snapshots the goroutine count when called and, at test
+// cleanup, waits for the count to return to the snapshot. Protocol runs
+// spawn one goroutine per party plus timer and fault-delay helpers; a
+// leak here means a party blocked forever on a receive that will never
+// be served — exactly the failure mode the abort protocol exists to
+// prevent.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Check records the current goroutine count and registers a cleanup
+// that fails the test if, after a grace period, more goroutines are
+// still alive than at the snapshot. Call it first thing in the test.
+func Check(t TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Goroutines wind down asynchronously after cancel; poll with
+		// backoff before declaring a leak.
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, stacks())
+		}
+	})
+}
+
+// stacks dumps all goroutine stacks, trimming the runtime's own.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var keep []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "runtime.gopark") && strings.Contains(g, "runtime.bgsweep") {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	return fmt.Sprintf("%d goroutine stacks:\n%s", len(keep), strings.Join(keep, "\n\n"))
+}

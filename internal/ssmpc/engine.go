@@ -12,6 +12,7 @@
 package ssmpc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -66,6 +67,7 @@ type Engine struct {
 	me     int
 	fab    transport.Net
 	rng    io.Reader
+	ctx    context.Context
 	round  int
 	ctr    Counters
 	lambda []*big.Int // Lagrange coefficients at 0 for abscissae 1..N
@@ -74,6 +76,13 @@ type Engine struct {
 // NewEngine creates party me's endpoint. All parties must share the same
 // Config and Fabric.
 func NewEngine(cfg Config, me int, fab transport.Net, rng io.Reader) (*Engine, error) {
+	return NewEngineCtx(context.Background(), cfg, me, fab, rng)
+}
+
+// NewEngineCtx is NewEngine with cancellation: every receive the engine
+// performs honours ctx, so a crashed or cancelled sibling turns into a
+// prompt typed *AbortError instead of a hung protocol round.
+func NewEngineCtx(ctx context.Context, cfg Config, me int, fab transport.Net, rng io.Reader) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -94,7 +103,22 @@ func NewEngine(cfg Config, me int, fab transport.Net, rng io.Reader) (*Engine, e
 	if err != nil {
 		return nil, fmt.Errorf("ssmpc: precomputing Lagrange coefficients: %w", err)
 	}
-	return &Engine{cfg: cfg, me: me, fab: fab, rng: rng, lambda: lambda}, nil
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Engine{cfg: cfg, me: me, fab: fab, rng: rng, ctx: ctx, lambda: lambda}, nil
+}
+
+// recv is the engine's context-aware, round-checked receive.
+func (e *Engine) recv(from, round int) (any, error) {
+	p, err := e.fab.RecvCtx(e.ctx, e.me, from, round)
+	return p, transport.AnnotatePhase(err, "ssmpc")
+}
+
+// gather is the engine's context-aware, round-checked GatherAll.
+func (e *Engine) gather(round int) ([]any, error) {
+	all, err := e.fab.GatherAllCtx(e.ctx, e.me, round)
+	return all, transport.AnnotatePhase(err, "ssmpc")
 }
 
 // Party returns this engine's party index.
@@ -149,7 +173,7 @@ func (e *Engine) ShareBatch(dealer int, secrets []*big.Int, count int) ([]Share,
 		}
 		return wrapAll(perParty[e.me]), nil
 	}
-	payload, err := e.fab.Recv(e.me, dealer)
+	payload, err := e.recv(dealer, round)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +208,7 @@ func (e *Engine) OpenBatch(shares []Share) ([]*big.Int, error) {
 	if err := e.fab.Broadcast(round, e.me, len(shares)*e.fieldBytes(), mine); err != nil {
 		return nil, err
 	}
-	all, err := e.fab.GatherAll(e.me)
+	all, err := e.gather(round)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +310,7 @@ func (e *Engine) MulBatch(as, bs []Share) ([]Share, error) {
 			return nil, err
 		}
 	}
-	all, err := e.fab.GatherAll(e.me)
+	all, err := e.gather(round)
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,7 @@ func (e *Engine) RandomElements(k int) ([]Share, error) {
 			return nil, err
 		}
 	}
-	all, err := e.fab.GatherAll(e.me)
+	all, err := e.gather(round)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package ssmpc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -54,6 +56,10 @@ func runWith[T any](cfg Config, rngs []io.Reader, opts []transport.Option, prog 
 	if err != nil {
 		return nil, nil, err
 	}
+	// One failed party cancels its siblings so nobody blocks forever on
+	// a receive that will never be served.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	results := make([]Result[T], cfg.N)
 	errs := make([]error, cfg.N)
 	var wg sync.WaitGroup
@@ -62,24 +68,35 @@ func runWith[T any](cfg Config, rngs []io.Reader, opts []transport.Option, prog 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			eng, err := NewEngine(cfg, p, fab, rngs[p])
+			eng, err := NewEngineCtx(ctx, cfg, p, fab, rngs[p])
 			if err != nil {
 				errs[p] = err
+				cancel()
 				return
 			}
 			v, err := prog(eng)
 			if err != nil {
 				errs[p] = fmt.Errorf("party %d: %w", p, err)
+				cancel()
 				return
 			}
 			results[p] = Result[T]{Party: p, Value: v, Counters: eng.Counters()}
 		}()
 	}
 	wg.Wait()
+	// Prefer the root-cause error: cancellation aborts are secondary
+	// effects of the first real failure.
+	var firstErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, fab, err
+		if err == nil {
+			continue
 		}
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, fab, firstErr
 	}
 	return results, fab, nil
 }

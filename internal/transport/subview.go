@@ -1,12 +1,16 @@
 package transport
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Net is the messaging surface protocol code programs against. *Fabric
 // implements it directly; SubView implements it over a subset of a
 // fabric's parties so multi-phase frameworks can run an n-party
 // subprotocol among a subset of n+1 parties while keeping a single
-// unified trace for network replay.
+// unified trace for network replay. TCPFabric implements it over a real
+// mesh, and FaultNet wraps any implementation with fault injection.
 type Net interface {
 	// N is the number of addressable parties.
 	N() int
@@ -14,11 +18,20 @@ type Net interface {
 	Send(round, from, to, bytes int, payload any) error
 	// Recv blocks until a message from the given peer arrives.
 	Recv(to, from int) (any, error)
+	// RecvCtx blocks until a message from the given peer arrives, the
+	// context is cancelled, the implementation's timeout expires, or
+	// the peer is known down. A non-negative round is the tag the
+	// receiver expects; a mismatching arrival fails with an AbortError
+	// (protocols have static round structure, so a mismatch proves a
+	// shifted stream). Failures surface as *AbortError.
+	RecvCtx(ctx context.Context, to, from, round int) (any, error)
 	// Broadcast sends the payload to every other party.
 	Broadcast(round, from, bytes int, payload any) error
 	// GatherAll receives one message from every other party, indexed by
 	// sender (self slot nil).
 	GatherAll(to int) ([]any, error)
+	// GatherAllCtx is the cancellable, round-checked form of GatherAll.
+	GatherAllCtx(ctx context.Context, to, round int) ([]any, error)
 }
 
 var (
@@ -88,31 +101,43 @@ func (s *SubView) Recv(to, from int) (any, error) {
 	return s.parent.Recv(s.members[to], s.members[from])
 }
 
-// Broadcast implements Net (n−1 unicasts within the view).
+// RecvCtx implements Net. The expected round is shifted by the view's
+// offset; AbortErrors come back naming the parent (global) party index
+// and absolute round, which is what failure reports should show.
+func (s *SubView) RecvCtx(ctx context.Context, to, from, round int) (any, error) {
+	if err := s.check(to); err != nil {
+		return nil, err
+	}
+	if err := s.check(from); err != nil {
+		return nil, err
+	}
+	if round >= 0 {
+		round += s.roundOffset
+	}
+	return s.parent.RecvCtx(ctx, s.members[to], s.members[from], round)
+}
+
+// Broadcast implements Net (n−1 best-effort unicasts within the view:
+// every leg is attempted, the first error returned after all legs).
 func (s *SubView) Broadcast(round, from, bytes int, payload any) error {
+	var firstErr error
 	for to := range s.members {
 		if to == from {
 			continue
 		}
-		if err := s.Send(round, from, to, bytes, payload); err != nil {
-			return err
+		if err := s.Send(round, from, to, bytes, payload); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // GatherAll implements Net.
 func (s *SubView) GatherAll(to int) ([]any, error) {
-	out := make([]any, len(s.members))
-	for from := range s.members {
-		if from == to {
-			continue
-		}
-		p, err := s.Recv(to, from)
-		if err != nil {
-			return nil, err
-		}
-		out[from] = p
-	}
-	return out, nil
+	return s.GatherAllCtx(context.Background(), to, -1)
+}
+
+// GatherAllCtx implements Net.
+func (s *SubView) GatherAllCtx(ctx context.Context, to, round int) ([]any, error) {
+	return gatherAll(ctx, s, to, round)
 }

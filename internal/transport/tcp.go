@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -14,6 +16,12 @@ import (
 // parties shares one duplex TCP connection carrying gob-encoded
 // envelopes; per-sender FIFO ordering is TCP's ordering.
 //
+// Failure behaviour: a lost connection is detected by the per-peer
+// reader pump and surfaces on the next receive as a typed *AbortError
+// naming the peer (ErrPeerDown), never as a hang or a decode panic.
+// Writes carry a deadline so a stalled peer cannot block a sender
+// forever. Close drains and tears down every connection gracefully.
+//
 // Payload types that cross a TCPFabric must be gob-registered first
 // (each protocol package exposes RegisterWire for its own types).
 type TCPFabric struct {
@@ -23,7 +31,7 @@ type TCPFabric struct {
 	conns []net.Conn
 	encs  []*gob.Encoder
 	encMu []sync.Mutex
-	inbox []chan any
+	inbox []chan envelope
 
 	timeout time.Duration
 
@@ -32,8 +40,11 @@ type TCPFabric struct {
 	bytes    int64
 	maxRound int
 	rounds   map[int]struct{}
+	recvErr  []error // first reader-pump error per peer
 
 	closeOnce sync.Once
+	closeCh   chan struct{}
+	pumps     sync.WaitGroup
 }
 
 var _ Net = (*TCPFabric)(nil)
@@ -45,11 +56,21 @@ type envelope struct {
 	Payload any
 }
 
+// Mesh-formation and handshake limits.
+const (
+	dialDeadline      = 10 * time.Second
+	dialBackoffBase   = 5 * time.Millisecond
+	dialBackoffMax    = 250 * time.Millisecond
+	handshakeDeadline = 5 * time.Second
+)
+
 // NewTCPFabric builds party me's endpoint of an n-party mesh. addrs
 // lists every party's listen address (host:port); the function listens
-// on addrs[me], dials every lower-indexed party, accepts connections
-// from every higher-indexed one, and returns when the mesh is complete.
-// All parties must call it concurrently.
+// on addrs[me], dials every lower-indexed party (with exponential
+// backoff and jitter while they come up), accepts connections from
+// every higher-indexed one, and returns when the mesh is complete.
+// All parties must call it concurrently. timeout bounds each receive
+// wait and each write; <= 0 means no bound.
 func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, error) {
 	n := len(addrs)
 	if n < 2 {
@@ -64,12 +85,14 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 		conns:   make([]net.Conn, n),
 		encs:    make([]*gob.Encoder, n),
 		encMu:   make([]sync.Mutex, n),
-		inbox:   make([]chan any, n),
+		inbox:   make([]chan envelope, n),
 		timeout: timeout,
 		rounds:  make(map[int]struct{}),
+		recvErr: make([]error, n),
+		closeCh: make(chan struct{}),
 	}
 	for i := range f.inbox {
-		f.inbox[i] = make(chan any, 4096)
+		f.inbox[i] = make(chan envelope, 4096)
 	}
 
 	ln, err := net.Listen("tcp", addrs[me])
@@ -77,12 +100,20 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 		return nil, fmt.Errorf("transport: listening on %s: %w", addrs[me], err)
 	}
 	defer ln.Close()
+	// Bound mesh formation on the accept side too: a peer that dies
+	// before dialing in must surface as an error here, not leave this
+	// party blocked in Accept forever.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(dialDeadline))
+	}
 
 	var wg sync.WaitGroup
 	errs := make(chan error, n)
 
 	// Accept from higher-indexed peers; each introduces itself with its
-	// index as the first gob value.
+	// index as the first gob value. The handshake carries a read
+	// deadline so a connected-but-silent client cannot stall mesh
+	// formation.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -92,13 +123,17 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 				errs <- err
 				return
 			}
+			conn.SetReadDeadline(time.Now().Add(handshakeDeadline))
 			dec := gob.NewDecoder(conn)
 			var peer int
 			if err := dec.Decode(&peer); err != nil {
+				conn.Close()
 				errs <- fmt.Errorf("transport: tcp handshake: %w", err)
 				return
 			}
+			conn.SetReadDeadline(time.Time{})
 			if peer <= me || peer >= n || f.conns[peer] != nil {
+				conn.Close()
 				errs <- fmt.Errorf("transport: invalid handshake from peer %d", peer)
 				return
 			}
@@ -106,13 +141,17 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 		}
 	}()
 
-	// Dial lower-indexed peers (retrying while they come up).
+	// Dial lower-indexed peers, backing off exponentially with jitter so
+	// n parties starting at once do not hammer a slow listener in
+	// lockstep.
 	for peer := 0; peer < me; peer++ {
 		peer := peer
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			deadline := time.Now().Add(10 * time.Second)
+			jitter := rand.New(rand.NewSource(int64(me)<<16 | int64(peer)))
+			backoff := dialBackoffBase
+			deadline := time.Now().Add(dialDeadline)
 			for {
 				conn, err := net.Dial("tcp", addrs[peer])
 				if err != nil {
@@ -120,14 +159,22 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 						errs <- fmt.Errorf("transport: dialing party %d: %w", peer, err)
 						return
 					}
-					time.Sleep(10 * time.Millisecond)
+					// Sleep backoff ± 50% jitter, then double up to the cap.
+					d := backoff/2 + time.Duration(jitter.Int63n(int64(backoff)))
+					time.Sleep(d)
+					if backoff *= 2; backoff > dialBackoffMax {
+						backoff = dialBackoffMax
+					}
 					continue
 				}
 				enc := gob.NewEncoder(conn)
+				conn.SetWriteDeadline(time.Now().Add(handshakeDeadline))
 				if err := enc.Encode(me); err != nil {
+					conn.Close()
 					errs <- fmt.Errorf("transport: tcp handshake: %w", err)
 					return
 				}
+				conn.SetWriteDeadline(time.Time{})
 				f.attachWithEncoder(peer, conn, enc, gob.NewDecoder(conn))
 				return
 			}
@@ -155,15 +202,33 @@ func (f *TCPFabric) attachWithEncoder(peer int, conn net.Conn, enc *gob.Encoder,
 	f.encs[peer] = enc
 	f.mu.Unlock()
 	// Reader pump: one goroutine per connection keeps per-sender FIFO
-	// order and feeds the inbox.
+	// order and feeds the inbox. A decode failure (connection loss,
+	// malformed frame) is recorded and the inbox closed, so pending and
+	// future receives fail with a typed AbortError instead of hanging.
+	// No steady-state read deadline is set here: links are legitimately
+	// idle for long stretches (a party receives from a given peer only
+	// in certain rounds), and the receive-side timeout already bounds
+	// every wait.
+	f.pumps.Add(1)
 	go func() {
+		defer f.pumps.Done()
 		for {
 			var env envelope
 			if err := dec.Decode(&env); err != nil {
+				f.mu.Lock()
+				if f.recvErr[peer] == nil {
+					f.recvErr[peer] = err
+				}
+				f.mu.Unlock()
 				close(f.inbox[peer])
 				return
 			}
-			f.inbox[peer] <- env.Payload
+			select {
+			case f.inbox[peer] <- env:
+			case <-f.closeCh:
+				close(f.inbox[peer])
+				return
+			}
 		}
 	}()
 }
@@ -172,6 +237,8 @@ func (f *TCPFabric) attachWithEncoder(peer int, conn net.Conn, enc *gob.Encoder,
 func (f *TCPFabric) N() int { return f.n }
 
 // Send implements Net. Only this party's own index is a valid source.
+// When the fabric has a timeout, the write carries it as a deadline so
+// a stalled or dead peer surfaces as an error, not a blocked sender.
 func (f *TCPFabric) Send(round, from, to, bytes int, payload any) error {
 	if from != f.me {
 		return fmt.Errorf("transport: tcp party %d cannot send as %d", f.me, from)
@@ -186,72 +253,108 @@ func (f *TCPFabric) Send(round, from, to, bytes int, payload any) error {
 		f.maxRound = round
 	}
 	f.rounds[round] = struct{}{}
+	conn := f.conns[to]
 	f.mu.Unlock()
 
 	f.encMu[to].Lock()
 	defer f.encMu[to].Unlock()
-	if f.encs[to] == nil {
-		return fmt.Errorf("transport: no connection to party %d", to)
+	if f.encs[to] == nil || conn == nil {
+		return Abort(to, round, "", fmt.Errorf("%w: no connection to party %d", ErrPeerDown, to))
+	}
+	if f.timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(f.timeout))
+		defer conn.SetWriteDeadline(time.Time{})
 	}
 	if err := f.encs[to].Encode(envelope{Round: round, Bytes: bytes, Payload: payload}); err != nil {
-		return fmt.Errorf("transport: sending to party %d: %w", to, err)
+		return Abort(to, round, "", fmt.Errorf("%w: sending to party %d: %v", ErrPeerDown, to, err))
 	}
 	return nil
 }
 
-// Recv implements Net. Only this party's own index is a valid receiver.
+// Recv implements Net.
 func (f *TCPFabric) Recv(to, from int) (any, error) {
+	return f.RecvCtx(context.Background(), to, from, -1)
+}
+
+// RecvCtx implements Net. Only this party's own index is a valid
+// receiver. Connection loss surfaces as an AbortError carrying
+// ErrPeerDown and the pump's underlying error.
+func (f *TCPFabric) RecvCtx(ctx context.Context, to, from, round int) (any, error) {
 	if to != f.me {
 		return nil, fmt.Errorf("transport: tcp party %d cannot receive as %d", f.me, to)
 	}
 	if from < 0 || from >= f.n || from == f.me {
 		return nil, fmt.Errorf("transport: invalid source %d", from)
 	}
-	if f.timeout <= 0 {
-		p, ok := <-f.inbox[from]
-		if !ok {
-			return nil, fmt.Errorf("transport: connection to party %d closed", from)
-		}
-		return p, nil
+	var timerC <-chan time.Time
+	if f.timeout > 0 {
+		tm := time.NewTimer(f.timeout)
+		defer tm.Stop()
+		timerC = tm.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	select {
-	case p, ok := <-f.inbox[from]:
+	case env, ok := <-f.inbox[from]:
 		if !ok {
-			return nil, fmt.Errorf("transport: connection to party %d closed", from)
+			return nil, f.peerDown(from, round)
 		}
-		return p, nil
-	case <-time.After(f.timeout):
-		return nil, fmt.Errorf("transport: timeout waiting for party %d", from)
+		if round >= 0 && env.Round != round {
+			return nil, Abort(from, round, "",
+				fmt.Errorf("%w: got %d from party %d, want %d", ErrRoundMismatch, env.Round, from, round))
+		}
+		return env.Payload, nil
+	case <-done:
+		return nil, Abort(from, round, "", ctx.Err())
+	case <-timerC:
+		return nil, Abort(from, round, "", ErrTimeout)
 	}
 }
 
-// Broadcast implements Net.
+// peerDown builds the abort for a closed inbox, citing the reader
+// pump's underlying error (EOF, reset, decode failure) as the cause.
+func (f *TCPFabric) peerDown(from, round int) error {
+	f.mu.Lock()
+	cause := f.recvErr[from]
+	f.mu.Unlock()
+	select {
+	case <-f.closeCh:
+		return Abort(from, round, "", ErrClosed)
+	default:
+	}
+	if cause == nil {
+		cause = fmt.Errorf("connection closed")
+	}
+	return Abort(from, round, "", fmt.Errorf("%w: party %d: %v", ErrPeerDown, from, cause))
+}
+
+// Broadcast implements Net, best-effort: every leg is attempted even
+// when one fails, so a single dead peer does not keep this party's
+// message from the survivors (who could otherwise mis-attribute the
+// failure to this party). The first error is returned after all legs.
 func (f *TCPFabric) Broadcast(round, from, bytes int, payload any) error {
+	var firstErr error
 	for to := 0; to < f.n; to++ {
 		if to == f.me {
 			continue
 		}
-		if err := f.Send(round, from, to, bytes, payload); err != nil {
-			return err
+		if err := f.Send(round, from, to, bytes, payload); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // GatherAll implements Net.
 func (f *TCPFabric) GatherAll(to int) ([]any, error) {
-	out := make([]any, f.n)
-	for from := 0; from < f.n; from++ {
-		if from == to {
-			continue
-		}
-		p, err := f.Recv(to, from)
-		if err != nil {
-			return nil, err
-		}
-		out[from] = p
-	}
-	return out, nil
+	return f.GatherAllCtx(context.Background(), to, -1)
+}
+
+// GatherAllCtx implements Net.
+func (f *TCPFabric) GatherAllCtx(ctx context.Context, to, round int) ([]any, error) {
+	return gatherAll(ctx, f, to, round)
 }
 
 // LocalStats reports this endpoint's send counters (a TCP endpoint only
@@ -262,16 +365,22 @@ func (f *TCPFabric) LocalStats() (messages, bytes int64, rounds int) {
 	return f.msgs, f.bytes, len(f.rounds)
 }
 
-// Close tears down every connection.
+// Close tears down the endpoint gracefully: it stops the reader pumps,
+// closes every connection, and waits for the pumps to drain, so no
+// goroutine outlives the fabric. Safe to call more than once and
+// concurrently with protocol traffic (in-flight receives fail with
+// ErrClosed).
 func (f *TCPFabric) Close() {
 	f.closeOnce.Do(func() {
+		close(f.closeCh)
 		f.mu.Lock()
-		defer f.mu.Unlock()
 		for _, c := range f.conns {
 			if c != nil {
 				c.Close()
 			}
 		}
+		f.mu.Unlock()
+		f.pumps.Wait()
 	})
 }
 

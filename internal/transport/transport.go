@@ -15,6 +15,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -77,6 +78,12 @@ type Fabric struct {
 	traceOff bool
 
 	queues [][]chan message // queues[from][to]
+	// down[p] is closed when party p is known to have crashed
+	// (MarkDown); receives from p then fail immediately with
+	// ErrPeerDown instead of waiting out a timeout, mirroring the
+	// connection-loss detection a real TCP mesh provides.
+	down     []chan struct{}
+	downOnce []sync.Once
 
 	mu       sync.Mutex
 	trace    []Event
@@ -89,6 +96,7 @@ type Fabric struct {
 type message struct {
 	payload any
 	bytes   int
+	round   int
 }
 
 // New creates a fabric for n parties.
@@ -100,6 +108,9 @@ func New(n int, opts ...Option) (*Fabric, error) {
 	for _, opt := range opts {
 		opt(f)
 	}
+	if f.capacity < 1 {
+		return nil, fmt.Errorf("transport: queue capacity must be at least 1, got %d", f.capacity)
+	}
 	f.queues = make([][]chan message, n)
 	for i := range f.queues {
 		f.queues[i] = make([]chan message, n)
@@ -107,7 +118,23 @@ func New(n int, opts ...Option) (*Fabric, error) {
 			f.queues[i][j] = make(chan message, f.capacity)
 		}
 	}
+	f.down = make([]chan struct{}, n)
+	f.downOnce = make([]sync.Once, n)
+	for i := range f.down {
+		f.down[i] = make(chan struct{})
+	}
 	return f, nil
+}
+
+// MarkDown declares party p crashed: every pending and future receive
+// from p fails immediately with an AbortError carrying ErrPeerDown
+// (after draining messages p sent before crashing). The fault-injection
+// harness calls it when a crash schedule fires; it is idempotent.
+func (f *Fabric) MarkDown(p int) {
+	if p < 0 || p >= f.n {
+		return
+	}
+	f.downOnce[p].Do(func() { close(f.down[p]) })
 }
 
 // N returns the number of parties.
@@ -137,7 +164,7 @@ func (f *Fabric) Send(round, from, to, bytes int, payload any) error {
 		return nil
 	}
 	select {
-	case f.queues[from][to] <- message{payload: payload, bytes: bytes}:
+	case f.queues[from][to] <- message{payload: payload, bytes: bytes, round: round}:
 		return nil
 	default:
 		return fmt.Errorf("transport: queue %d→%d full (capacity %d)", from, to, f.capacity)
@@ -145,47 +172,106 @@ func (f *Fabric) Send(round, from, to, bytes int, payload any) error {
 }
 
 // Recv blocks until a message from the given peer arrives (or the
-// configured timeout expires).
+// configured timeout expires). It accepts any round tag; new code
+// should prefer RecvCtx, which is cancellable and validates the tag.
 func (f *Fabric) Recv(to, from int) (any, error) {
+	return f.RecvCtx(context.Background(), to, from, -1)
+}
+
+// RecvCtx blocks until a message from the given peer arrives, the
+// context is cancelled, the configured timeout expires, or the peer is
+// marked down. If round is non-negative the received message's round
+// tag must match it: protocols have static round structure, so a
+// mismatch proves the stream was shifted by a dropped, duplicated or
+// reordered message, and the receive fails with a typed AbortError
+// instead of silently consuming a stale payload.
+func (f *Fabric) RecvCtx(ctx context.Context, to, from, round int) (any, error) {
 	if err := f.check(from, to); err != nil {
 		return nil, err
 	}
-	if f.timeout <= 0 {
-		m := <-f.queues[from][to]
-		return m.payload, nil
+	q := f.queues[from][to]
+	// Fast path — and drain preference: messages the peer sent before
+	// crashing are still delivered, like buffered TCP data before EOF.
+	select {
+	case m := <-q:
+		return f.accept(m, from, round)
+	default:
+	}
+	var timerC <-chan time.Time
+	if f.timeout > 0 {
+		tm := time.NewTimer(f.timeout)
+		defer tm.Stop()
+		timerC = tm.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	select {
-	case m := <-f.queues[from][to]:
-		return m.payload, nil
-	case <-time.After(f.timeout):
-		return nil, fmt.Errorf("transport: timeout waiting for message %d→%d", from, to)
+	case m := <-q:
+		return f.accept(m, from, round)
+	case <-f.down[from]:
+		// Drain once more: the crash may have raced a final send.
+		select {
+		case m := <-q:
+			return f.accept(m, from, round)
+		default:
+		}
+		return nil, Abort(from, round, "", ErrPeerDown)
+	case <-done:
+		return nil, Abort(from, round, "", ctx.Err())
+	case <-timerC:
+		return nil, Abort(from, round, "", ErrTimeout)
 	}
+}
+
+func (f *Fabric) accept(m message, from, round int) (any, error) {
+	if round >= 0 && m.round != round {
+		return nil, Abort(from, round, "",
+			fmt.Errorf("%w: got %d from party %d, want %d", ErrRoundMismatch, m.round, from, round))
+	}
+	return m.payload, nil
 }
 
 // Broadcast sends the same payload from one party to every other party,
 // charging bytes once per recipient (the paper's model has no physical
-// broadcast medium; a broadcast is n−1 unicasts).
+// broadcast medium; a broadcast is n−1 unicasts). It is best-effort:
+// every leg is attempted even when one fails, and the first error is
+// returned after all legs, so one full queue or dead peer does not keep
+// the message from the other parties.
 func (f *Fabric) Broadcast(round, from, bytes int, payload any) error {
+	var firstErr error
 	for to := 0; to < f.n; to++ {
 		if to == from {
 			continue
 		}
-		if err := f.Send(round, from, to, bytes, payload); err != nil {
-			return err
+		if err := f.Send(round, from, to, bytes, payload); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // GatherAll receives one message from every other party, returned as a
 // slice indexed by sender (the self slot is nil).
 func (f *Fabric) GatherAll(to int) ([]any, error) {
-	out := make([]any, f.n)
-	for from := 0; from < f.n; from++ {
+	return f.GatherAllCtx(context.Background(), to, -1)
+}
+
+// GatherAllCtx is the cancellable, round-checked form of GatherAll.
+func (f *Fabric) GatherAllCtx(ctx context.Context, to, round int) ([]any, error) {
+	return gatherAll(ctx, f, to, round)
+}
+
+// gatherAll implements GatherAllCtx over any Net's RecvCtx.
+func gatherAll(ctx context.Context, net Net, to, round int) ([]any, error) {
+	n := net.N()
+	out := make([]any, n)
+	for from := 0; from < n; from++ {
 		if from == to {
 			continue
 		}
-		p, err := f.Recv(to, from)
+		p, err := net.RecvCtx(ctx, to, from, round)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package unlinksort
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sync"
@@ -311,12 +312,12 @@ func TestProveDecryptionCatchesWrongKeyStrip(t *testing.T) {
 			// The cheater: honest key phase and comparison circuit, but
 			// the chain uses a swapped private key, so its strip proofs
 			// cannot verify against its registered share.
-			key, joint, ys, err := keyPhase(cfg, scheme, me, fab, rng)
+			key, joint, ys, err := keyPhase(context.Background(), cfg, scheme, me, fab, rng)
 			if err != nil {
 				errCh <- err
 				return
 			}
-			myBits, theirCts, err := publishBits(cfg, scheme, me, fab, joint, vals[me], rng)
+			myBits, theirCts, err := publishBits(context.Background(), cfg, scheme, me, fab, joint, vals[me], rng)
 			if err != nil {
 				errCh <- err
 				return
@@ -332,7 +333,7 @@ func TestProveDecryptionCatchesWrongKeyStrip(t *testing.T) {
 				return
 			}
 			forged := &elgamal.KeyPair{X: wrongX, Y: key.Y}
-			_, err = chainPhase(cfg, scheme, me, fab, forged, ys, mySet, rng)
+			_, err = chainPhase(context.Background(), cfg, scheme, me, fab, forged, ys, mySet, rng)
 			errCh <- err
 			return
 		}()

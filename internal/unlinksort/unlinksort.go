@@ -30,8 +30,10 @@ package unlinksort
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -172,6 +174,14 @@ func RegisterWire() {
 // party index in [0, n), beta the party's l-bit value. Every party must
 // call Party concurrently with the same Config.
 func Party(cfg Config, me int, fab transport.Net, beta *big.Int, rng io.Reader) (Result, error) {
+	return PartyCtx(context.Background(), cfg, me, fab, beta, rng)
+}
+
+// PartyCtx is Party with cancellation: every blocking receive honours
+// ctx, so when a sibling party fails and the runner cancels, this party
+// unblocks promptly with a typed *AbortError instead of hanging on a
+// channel that will never deliver.
+func PartyCtx(ctx context.Context, cfg Config, me int, fab transport.Net, beta *big.Int, rng io.Reader) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
@@ -185,13 +195,13 @@ func Party(cfg Config, me int, fab transport.Net, beta *big.Int, rng io.Reader) 
 	scheme := elgamal.NewScheme(cfg.Group)
 
 	// Step 5: key generation and knowledge proofs.
-	key, joint, ys, err := keyPhase(cfg, scheme, me, fab, rng)
+	key, joint, ys, err := keyPhase(ctx, cfg, scheme, me, fab, rng)
 	if err != nil {
 		return Result{}, err
 	}
 
 	// Step 6: publish the bitwise encryption of beta.
-	myBits, theirCts, err := publishBits(cfg, scheme, me, fab, joint, beta, rng)
+	myBits, theirCts, err := publishBits(ctx, cfg, scheme, me, fab, joint, beta, rng)
 	if err != nil {
 		return Result{}, err
 	}
@@ -203,7 +213,7 @@ func Party(cfg Config, me int, fab transport.Net, beta *big.Int, rng io.Reader) 
 	}
 
 	// Step 8: decrypt-and-shuffle chain.
-	finalSet, err := chainPhase(cfg, scheme, me, fab, key, ys, mySet, rng)
+	finalSet, err := chainPhase(ctx, cfg, scheme, me, fab, key, ys, mySet, rng)
 	if err != nil {
 		return Result{}, err
 	}
@@ -222,7 +232,7 @@ func Party(cfg Config, me int, fab transport.Net, beta *big.Int, rng io.Reader) 
 // keyPhase publishes key shares, runs the n-verifier knowledge proofs,
 // and returns this party's key pair, the joint public key and every
 // party's key share (needed to verify chain decryption proofs).
-func keyPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, rng io.Reader) (*elgamal.KeyPair, group.Element, []group.Element, error) {
+func keyPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, rng io.Reader) (*elgamal.KeyPair, group.Element, []group.Element, error) {
 	g := cfg.Group
 	n := fab.N()
 	key, err := scheme.GenerateKey(rng)
@@ -230,11 +240,11 @@ func keyPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, rng
 		return nil, nil, nil, err
 	}
 	if err := fab.Broadcast(roundPublishKeys, me, g.ElementLen(), key.Y); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, transport.AnnotatePhase(err, "keygen")
 	}
-	received, err := fab.GatherAll(me)
+	received, err := fab.GatherAllCtx(ctx, me, roundPublishKeys)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, transport.AnnotatePhase(err, "keygen")
 	}
 	ys := make([]group.Element, n)
 	for j := 0; j < n; j++ {
@@ -250,7 +260,7 @@ func keyPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, rng
 	}
 
 	if !cfg.SkipProofs {
-		if err := proofPhase(cfg, me, fab, key, ys, rng); err != nil {
+		if err := proofPhase(ctx, cfg, me, fab, key, ys, rng); err != nil {
 			return nil, nil, nil, err
 		}
 	}
@@ -260,7 +270,7 @@ func keyPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, rng
 // proofPhase interleaves all n multi-verifier Schnorr proofs: every
 // party is simultaneously the prover of its own key share and a verifier
 // of everyone else's, in three broadcast rounds.
-func proofPhase(cfg Config, me int, fab transport.Net, key *elgamal.KeyPair, ys []group.Element, rng io.Reader) error {
+func proofPhase(ctx context.Context, cfg Config, me int, fab transport.Net, key *elgamal.KeyPair, ys []group.Element, rng io.Reader) error {
 	g := cfg.Group
 	n := fab.N()
 	scalarBytes := (g.Order().BitLen() + 7) / 8
@@ -271,11 +281,11 @@ func proofPhase(cfg Config, me int, fab transport.Net, key *elgamal.KeyPair, ys 
 		return err
 	}
 	if err := fab.Broadcast(roundProofCommit, me, g.ElementLen(), h); err != nil {
-		return err
+		return transport.AnnotatePhase(err, "key-proof")
 	}
-	commits, err := fab.GatherAll(me)
+	commits, err := fab.GatherAllCtx(ctx, me, roundProofCommit)
 	if err != nil {
-		return err
+		return transport.AnnotatePhase(err, "key-proof")
 	}
 
 	// One challenge share per foreign prover, broadcast as a slice
@@ -290,11 +300,11 @@ func proofPhase(cfg Config, me int, fab transport.Net, key *elgamal.KeyPair, ys 
 		}
 	}
 	if err := fab.Broadcast(roundProofChallenge, me, (n-1)*scalarBytes, myChallenges); err != nil {
-		return err
+		return transport.AnnotatePhase(err, "key-proof")
 	}
-	challengeMsgs, err := fab.GatherAll(me)
+	challengeMsgs, err := fab.GatherAllCtx(ctx, me, roundProofChallenge)
 	if err != nil {
-		return err
+		return transport.AnnotatePhase(err, "key-proof")
 	}
 	// Challenges addressed to me, one from each verifier.
 	toMe := make([]*big.Int, 0, n-1)
@@ -313,11 +323,11 @@ func proofPhase(cfg Config, me int, fab transport.Net, key *elgamal.KeyPair, ys 
 		return err
 	}
 	if err := fab.Broadcast(roundProofResponse, me, scalarBytes, z); err != nil {
-		return err
+		return transport.AnnotatePhase(err, "key-proof")
 	}
-	responses, err := fab.GatherAll(me)
+	responses, err := fab.GatherAllCtx(ctx, me, roundProofResponse)
 	if err != nil {
-		return err
+		return transport.AnnotatePhase(err, "key-proof")
 	}
 
 	// Verify every foreign proof against the challenge shares all
@@ -359,7 +369,7 @@ func proofPhase(cfg Config, me int, fab transport.Net, key *elgamal.KeyPair, ys 
 // publishBits broadcasts E(β)_B and gathers everyone else's, returning
 // this party's plaintext bits and the foreign ciphertext vectors indexed
 // by party.
-func publishBits(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, joint group.Element, beta *big.Int, rng io.Reader) ([]uint8, [][]elgamal.Ciphertext, error) {
+func publishBits(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, joint group.Element, beta *big.Int, rng io.Reader) ([]uint8, [][]elgamal.Ciphertext, error) {
 	n := fab.N()
 	bits, err := fixedbig.Bits(beta, cfg.L)
 	if err != nil {
@@ -372,11 +382,11 @@ func publishBits(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, 
 		}
 	}
 	if err := fab.Broadcast(roundPublishBits, me, cfg.L*scheme.EncodedLen(), bitsMsg{Cts: mine}); err != nil {
-		return nil, nil, err
+		return nil, nil, transport.AnnotatePhase(err, "publish-bits")
 	}
-	gathered, err := fab.GatherAll(me)
+	gathered, err := fab.GatherAllCtx(ctx, me, roundPublishBits)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, transport.AnnotatePhase(err, "publish-bits")
 	}
 	theirs := make([][]elgamal.Ciphertext, n)
 	for j := 0; j < n; j++ {
@@ -467,7 +477,7 @@ func compareAll(cfg Config, scheme *elgamal.Scheme, joint group.Element, myBits 
 // to the previous commitment) together with Chaum–Pedersen proofs that
 // each key layer was stripped with the registered share. Each hop
 // verifies its predecessor before processing.
-func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, key *elgamal.KeyPair, ys []group.Element, mySet []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, key *elgamal.KeyPair, ys []group.Element, mySet []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
 	n := fab.N()
 	ctBytes := scheme.EncodedLen()
 
@@ -475,7 +485,7 @@ func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, k
 	anchors := make([][]byte, n)
 	if cfg.ProveDecryption {
 		if err := fab.Broadcast(roundCollectTaus, me, 32, anchorMsg{Hash: hashSet(scheme, mySet)}); err != nil {
-			return nil, err
+			return nil, transport.AnnotatePhase(err, "collect-taus")
 		}
 	}
 	var v [][]elgamal.Ciphertext
@@ -484,7 +494,7 @@ func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, k
 		v[0] = mySet
 	} else {
 		if err := fab.Send(roundCollectTaus, me, 0, len(mySet)*ctBytes, tauSetMsg{Set: mySet}); err != nil {
-			return nil, err
+			return nil, transport.AnnotatePhase(err, "collect-taus")
 		}
 	}
 	if cfg.ProveDecryption {
@@ -493,9 +503,9 @@ func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, k
 				anchors[me] = hashSet(scheme, mySet)
 				continue
 			}
-			payload, err := fab.Recv(me, j)
+			payload, err := fab.RecvCtx(ctx, me, j, roundCollectTaus)
 			if err != nil {
-				return nil, err
+				return nil, transport.AnnotatePhase(err, "collect-taus")
 			}
 			msg, ok := payload.(anchorMsg)
 			if !ok || len(msg.Hash) != 32 {
@@ -506,9 +516,9 @@ func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, k
 	}
 	if me == 0 {
 		for j := 1; j < n; j++ {
-			payload, err := fab.Recv(0, j)
+			payload, err := fab.RecvCtx(ctx, 0, j, roundCollectTaus)
 			if err != nil {
-				return nil, err
+				return nil, transport.AnnotatePhase(err, "collect-taus")
 			}
 			msg, ok := payload.(tauSetMsg)
 			if !ok || len(msg.Set) != (n-1)*cfg.L {
@@ -533,9 +543,9 @@ func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, k
 			if me == 1 {
 				prevCommit = anchors
 			} else {
-				payload, err := fab.Recv(me, me-2)
+				payload, err := fab.RecvCtx(ctx, me, me-2, roundChainBase+me-2)
 				if err != nil {
-					return nil, err
+					return nil, transport.AnnotatePhase(err, "chain")
 				}
 				msg, ok := payload.(commitMsg)
 				if !ok || len(msg.Hashes) != n {
@@ -545,17 +555,17 @@ func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, k
 			}
 			// The predecessor's own commitment precedes its vector on
 			// the same channel.
-			payload, err := fab.Recv(me, me-1)
+			payload, err := fab.RecvCtx(ctx, me, me-1, roundChainBase+me-1)
 			if err != nil {
-				return nil, err
+				return nil, transport.AnnotatePhase(err, "chain")
 			}
 			if msg, ok := payload.(commitMsg); !ok || len(msg.Hashes) != n {
 				return nil, fmt.Errorf("unlinksort: party %d sent a malformed output commitment", me-1)
 			}
 		}
-		payload, err := fab.Recv(me, me-1)
+		payload, err := fab.RecvCtx(ctx, me, me-1, roundChainBase+me-1)
 		if err != nil {
-			return nil, err
+			return nil, transport.AnnotatePhase(err, "chain")
 		}
 		msg, ok := payload.(vectorMsg)
 		if !ok || len(msg.V) != n {
@@ -608,18 +618,18 @@ func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, k
 			hashes[owner] = hashSet(scheme, out.V[owner])
 		}
 		if err := fab.Broadcast(roundChainBase+me, me, n*32, commitMsg{Hashes: hashes}); err != nil {
-			return nil, err
+			return nil, transport.AnnotatePhase(err, "chain")
 		}
 	}
 	if me < n-1 {
 		if err := fab.Send(roundChainBase+me, me, me+1, vectorBytes, out); err != nil {
-			return nil, err
+			return nil, transport.AnnotatePhase(err, "chain")
 		}
 	} else {
 		// Last hop: return each set to its owner.
 		for owner := 0; owner < n-1; owner++ {
 			if err := fab.Send(roundChainBase+me, me, owner, len(out.V[owner])*ctBytes, finalMsg{Set: out.V[owner]}); err != nil {
-				return nil, err
+				return nil, transport.AnnotatePhase(err, "chain")
 			}
 		}
 	}
@@ -633,17 +643,17 @@ func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, k
 		// the same channel: consume it and verify the final set against
 		// it. Other hops' commitment broadcasts to non-successors stay
 		// queued unread, which is harmless on per-pair channels.
-		payload, err := fab.Recv(me, n-1)
+		payload, err := fab.RecvCtx(ctx, me, n-1, roundChainBase+n-1)
 		if err != nil {
-			return nil, err
+			return nil, transport.AnnotatePhase(err, "final-set")
 		}
 		commit, ok := payload.(commitMsg)
 		if !ok || len(commit.Hashes) != n {
 			return nil, fmt.Errorf("unlinksort: party %d sent a malformed final commitment", n-1)
 		}
-		payload, err = fab.Recv(me, n-1)
+		payload, err = fab.RecvCtx(ctx, me, n-1, roundChainBase+n-1)
 		if err != nil {
-			return nil, err
+			return nil, transport.AnnotatePhase(err, "final-set")
 		}
 		msg, ok := payload.(finalMsg)
 		if !ok || len(msg.Set) != len(mySet) {
@@ -654,9 +664,9 @@ func chainPhase(cfg Config, scheme *elgamal.Scheme, me int, fab transport.Net, k
 		}
 		return msg.Set, nil
 	}
-	payload, err := fab.Recv(me, n-1)
+	payload, err := fab.RecvCtx(ctx, me, n-1, roundChainBase+n-1)
 	if err != nil {
-		return nil, err
+		return nil, transport.AnnotatePhase(err, "final-set")
 	}
 	msg, ok := payload.(finalMsg)
 	if !ok || len(msg.Set) != len(mySet) {
@@ -781,6 +791,15 @@ func shuffle(set []elgamal.Ciphertext, rng io.Reader) error {
 // the per-party results (indexed by party) and the fabric for stats and
 // trace inspection.
 func Run(cfg Config, betas []*big.Int, seed string, opts ...transport.Option) ([]Result, *transport.Fabric, error) {
+	return RunCtx(context.Background(), cfg, betas, seed, nil, opts...)
+}
+
+// RunCtx is Run with cancellation and an optional net wrapper (fault
+// injection hooks in here: wrap receives the shared fabric and returns
+// the Net the parties actually use). The first party to fail cancels
+// every sibling, so no goroutine is left blocked on a receive that will
+// never complete; the returned error is always a typed *AbortError.
+func RunCtx(ctx context.Context, cfg Config, betas []*big.Int, seed string, wrap func(transport.Net) transport.Net, opts ...transport.Option) ([]Result, *transport.Fabric, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -799,29 +818,53 @@ func Run(cfg Config, betas []*big.Int, seed string, opts ...transport.Option) ([
 	if err != nil {
 		return nil, nil, err
 	}
+	var net transport.Net = fab
+	if wrap != nil {
+		net = wrap(fab)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	results := make([]Result, n)
 	errs := make([]error, n)
-	done := make(chan int, n)
+	var wg sync.WaitGroup
 	for p := 0; p < n; p++ {
 		p := p
+		wg.Add(1)
 		go func() {
-			defer func() { done <- p }()
+			defer wg.Done()
 			rng := fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", seed, p))
-			res, err := Party(cfg, p, fab, betas[p], rng)
+			res, err := PartyCtx(runCtx, cfg, p, net, betas[p], rng)
 			if err != nil {
 				errs[p] = fmt.Errorf("party %d: %w", p, err)
+				cancel() // unblock every sibling promptly
 				return
 			}
 			results[p] = res
 		}()
 	}
-	for i := 0; i < n; i++ {
-		<-done
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, fab, err
-		}
+	wg.Wait()
+	if p, err := firstRealError(errs); err != nil {
+		return nil, fab, transport.EnsureAbort(err, p, "unlinksort")
 	}
 	return results, fab, nil
+}
+
+// firstRealError picks the root-cause failure out of a per-party error
+// slice: cancellation aborts are secondary effects of the first real
+// failure (the canceller), so a non-cancel error is preferred.
+func firstRealError(errs []error) (int, error) {
+	party, pick := -1, error(nil)
+	for p, err := range errs {
+		if err == nil {
+			continue
+		}
+		if pick == nil {
+			party, pick = p, err
+			continue
+		}
+		if errors.Is(pick, context.Canceled) && !errors.Is(err, context.Canceled) {
+			party, pick = p, err
+		}
+	}
+	return party, pick
 }

@@ -1,6 +1,7 @@
 package groupranking
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -22,6 +23,11 @@ type SortOptions struct {
 	Bits int
 	// Seed makes the run deterministic; empty draws a fresh random seed.
 	Seed string
+	// Timeout bounds the run. For UnlinkableSort, 0 means no deadline;
+	// for UnlinkableSortParty it also bounds each blocking receive on the
+	// TCP mesh (default 2 minutes there). On expiry every party aborts
+	// with a typed *transport.AbortError instead of hanging.
+	Timeout time.Duration
 }
 
 // UnlinkableSort runs the paper's identity-unlinkable multiparty sorting
@@ -64,7 +70,13 @@ func UnlinkableSort(values []uint64, opts SortOptions) ([]int, error) {
 	for i, v := range values {
 		betas[i] = new(big.Int).SetUint64(v)
 	}
-	results, _, err := unlinksort.Run(unlinksort.Config{Group: g, L: opts.Bits}, betas, opts.Seed)
+	ctx := context.Background()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	results, _, err := unlinksort.RunCtx(ctx, unlinksort.Config{Group: g, L: opts.Bits}, betas, opts.Seed, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -95,16 +107,22 @@ func UnlinkableSortParty(addrs []string, me int, value uint64, opts SortOptions)
 		return 0, err
 	}
 	unlinksort.RegisterWire()
-	fab, err := transport.NewTCPFabric(addrs, me, 2*time.Minute)
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	fab, err := transport.NewTCPFabric(addrs, me, timeout)
 	if err != nil {
 		return 0, err
 	}
 	defer fab.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	var rng io.Reader = rand.Reader
 	if opts.Seed != "" {
 		rng = fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", opts.Seed, me))
 	}
-	res, err := unlinksort.Party(unlinksort.Config{Group: g, L: opts.Bits}, me, fab,
+	res, err := unlinksort.PartyCtx(ctx, unlinksort.Config{Group: g, L: opts.Bits}, me, fab,
 		new(big.Int).SetUint64(value), rng)
 	if err != nil {
 		return 0, err
