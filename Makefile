@@ -4,11 +4,12 @@
 GO ?= go
 
 # Packages whose tests exercise real concurrency (one goroutine per
-# protocol party, fault-injection delays, TCP pumps): these run under
-# the race detector in short mode as part of check.
-RACE_PKGS := ./internal/transport/ ./internal/core/ ./internal/unlinksort/
+# protocol party, fault-injection delays, TCP pumps, the lock-cheap
+# observability registry): these run under the race detector in short
+# mode as part of check.
+RACE_PKGS := ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/
 
-.PHONY: check vet build test race chaos bench clean
+.PHONY: check vet build test race race-full chaos bench bench-json trace-demo clean
 
 check: vet build test race
 
@@ -35,6 +36,16 @@ chaos:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate the committed machine-readable perf snapshot from
+# instrumented real runs (same emitter as `benchtab -json`).
+bench-json:
+	BENCH_JSON=$(CURDIR)/BENCH_groupranking.json $(GO) test -run TestBenchSnapshot -count=1 .
+
+# A 10-party run with the per-phase observability table and the JSONL
+# span trace on stderr — the quickest way to see the tracer end to end.
+trace-demo:
+	$(GO) run ./cmd/grouprank -n 10 -group toy-dl-256 -seed demo -metrics -trace -
 
 clean:
 	$(GO) clean ./...

@@ -13,10 +13,13 @@ package groupranking
 // primitive operations the complexity table counts.
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/big"
+	"os"
 	"testing"
 
+	"groupranking/internal/benchtab"
 	"groupranking/internal/core"
 	"groupranking/internal/costmodel"
 	"groupranking/internal/fixedbig"
@@ -276,6 +279,60 @@ func BenchmarkAblation_Proofs_Off(b *testing.B) {
 // the optimisation that restores the paper's ECC-beats-DL ordering.
 func BenchmarkAblation_Secp160Fast(b *testing.B)    { benchExp(b, group.Secp160r1()) }
 func BenchmarkAblation_Secp160Generic(b *testing.B) { benchExp(b, group.Secp160r1Generic()) }
+
+// --- Machine-readable perf snapshot (BENCH_groupranking.json) ---
+
+// TestBenchSnapshot regenerates the committed perf snapshot in memory
+// and checks its invariants: the registry-measured exponentiation
+// counts must equal the cost model's closed forms (the wall times vary
+// by machine; the counts never do). Set BENCH_JSON=<path> to rewrite
+// the committed file — `make bench-json` does this.
+func TestBenchSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instrumented framework runs are slow in -short mode")
+	}
+	snap, err := benchtab.CollectSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != benchtab.SnapshotSchema {
+		t.Fatalf("schema %d, want %d", snap.Schema, benchtab.SnapshotSchema)
+	}
+	if len(snap.Entries) < 3 {
+		t.Fatalf("only %d entries", len(snap.Entries))
+	}
+	names := make(map[string]bool)
+	for _, e := range snap.Entries {
+		if names[e.Name] {
+			t.Errorf("duplicate entry name %q", e.Name)
+		}
+		names[e.Name] = true
+		if e.NsPerOp <= 0 || e.BytesOnWire <= 0 || e.MsgsOnWire <= 0 || e.Rounds <= 0 {
+			t.Errorf("%s: non-positive measurement: %+v", e.Name, e)
+		}
+		if e.ExpsPerParticipant != e.ExpsModel {
+			t.Errorf("%s: measured %d exps per participant, model says %d",
+				e.Name, e.ExpsPerParticipant, e.ExpsModel)
+		}
+		if e.Sorter == "secret-sharing" && e.ExpsPerParticipant != 0 {
+			t.Errorf("%s: SS sorter performed %d group exps, want 0", e.Name, e.ExpsPerParticipant)
+		}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchtab.Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}
 
 // --- Related-work baseline: probabilistic top-k (Burkhart et al.) ---
 

@@ -16,6 +16,9 @@
 //	benchtab -all               # everything
 //	benchtab -fig 2a -real      # additionally run the real protocols
 //	                            # at small n as a cross-check
+//	benchtab -json BENCH_groupranking.json
+//	                            # the machine-readable perf snapshot:
+//	                            # instrumented small-n runs as JSON
 package main
 
 import (
@@ -34,7 +37,26 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: complexity")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	real := flag.Bool("real", false, "also run real protocols at small n as a cross-check")
+	jsonOut := flag.String("json", "", "write the machine-readable perf snapshot to this file (- for stdout) and exit")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		// The snapshot runs real instrumented protocols and needs no
+		// primitive-timing calibration, so skip the startup measurement.
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := benchtab.WriteSnapshot(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	r, err := benchtab.New(os.Stdout)
 	if err != nil {

@@ -62,6 +62,8 @@ func main() {
 		sorter    = flag.String("sorter", "unlinkable", "phase-2 protocol: unlinkable or secret-sharing")
 		seed      = flag.String("seed", "", "deterministic seed (empty = random)")
 		timeout   = flag.Duration("timeout", 0, "whole-run deadline (0 = none); expiry aborts cleanly")
+		traceFile = flag.String("trace", "", "write a JSONL span trace to this file (- for stderr); on abort the partial trace is still written")
+		metrics   = flag.Bool("metrics", false, "print the per-phase observability summary table after the run")
 
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault-injection schedule (reproducible chaos)")
 		faultDrop    = flag.Float64("fault-drop", 0, "per-message drop probability [0, 1]")
@@ -128,15 +130,47 @@ func main() {
 		log.Fatalf("unknown sorter %q", *sorter)
 	}
 
+	var obs *groupranking.Observer
+	if *traceFile != "" || *metrics {
+		obs = groupranking.NewObserver()
+		opts.Observer = obs
+	}
+	writeTrace := func() {
+		if *traceFile == "" {
+			return
+		}
+		out := os.Stderr
+		if *traceFile != "-" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				log.Printf("trace: %v", err)
+				return
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := obs.WriteJSONL(out); err != nil {
+			log.Printf("trace: %v", err)
+		}
+	}
+
 	res, err := groupranking.Rank(q, crit, profiles, opts)
 	if err != nil {
+		// The Observer outlives the failed run: dump the partial trace so
+		// the typed abort diagnostics come with the timeline that led to
+		// the failure.
+		writeTrace()
 		var abort *groupranking.AbortError
 		if errors.As(err, &abort) {
+			if *metrics {
+				obs.WriteSummary(os.Stderr)
+			}
 			log.Fatalf("run aborted cleanly (party %d, phase %q, round %d): %v",
 				abort.Party, abort.Phase, abort.Round, err)
 		}
 		log.Fatal(err)
 	}
+	writeTrace()
 
 	fmt.Printf("group: %s, sorter: %s, participants: %d, k: %d\n\n", *groupName, *sorter, len(profiles), opts.K)
 	fmt.Println("participant ranks (each participant only learns its own):")
@@ -152,6 +186,12 @@ func main() {
 		fmt.Printf("\nover-claim detection flagged: %v\n", res.Suspicious)
 	}
 	fmt.Printf("\ntraffic: %d bytes, %d communication rounds\n", res.BytesOnWire, res.Rounds)
+	if *metrics {
+		fmt.Println()
+		if err := obs.WriteSummary(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func loadScenario(path string, k *int) (*groupranking.Questionnaire, groupranking.Criterion, []groupranking.Profile, error) {

@@ -11,14 +11,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
 
 	"groupranking/internal/costmodel"
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/group"
 	"groupranking/internal/netsim"
+	"groupranking/internal/transport"
 )
 
 func main() {
@@ -33,6 +38,8 @@ func main() {
 		groupName = flag.String("group", "secp160r1", "group for -replay")
 		bandwidth = flag.Float64("mbps", 2, "link bandwidth in Mbps")
 		latency   = flag.Float64("latency", 0.050, "link latency in seconds")
+		traceFile = flag.String("trace", "", "with -replay: write the synthetic message trace as JSONL to this file (- for stdout)")
+		metrics   = flag.Bool("metrics", false, "with -replay: print the per-round traffic table")
 	)
 	flag.Parse()
 
@@ -77,10 +84,64 @@ func main() {
 	ctBytes := 2 * g.ElementLen()
 	scalarBytes := (g.Order().BitLen() + 7) / 8
 	trace := costmodel.OursTrace(s, ctBytes, g.ElementLen(), scalarBytes, 16)
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, trace); err != nil {
+			log.Fatal(err)
+		}
+	}
 	sec, err := rep.Run(trace, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("replay: n=%d group=%s → network time %.2f s (%d trace events, computation excluded)\n",
 		s.N, g.Name(), sec, len(trace))
+	if *metrics {
+		printRoundTable(trace)
+	}
+}
+
+// writeTrace dumps the synthetic trace one JSON event per line, the
+// same shape transport.Event records for real runs.
+func writeTrace(path string, trace []transport.Event) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	for _, ev := range trace {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printRoundTable aggregates the trace by round — the same breakdown
+// transport.Stats.PerRound reports for real fabrics.
+func printRoundTable(trace []transport.Event) {
+	perRound := make(map[int]transport.RoundStats)
+	for _, ev := range trace {
+		rs := perRound[ev.Round]
+		rs.Messages++
+		rs.Bytes += int64(ev.Bytes)
+		perRound[ev.Round] = rs
+	}
+	rounds := make([]int, 0, len(perRound))
+	for r := range perRound {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "round\tmsgs\tbytes")
+	for _, r := range rounds {
+		rs := perRound[r]
+		fmt.Fprintf(w, "%d\t%d\t%d\n", r, rs.Messages, rs.Bytes)
+	}
+	w.Flush()
 }

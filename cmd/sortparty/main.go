@@ -41,6 +41,8 @@ func run() int {
 		groupName = flag.String("group", "secp160r1", "agreed DDH group")
 		seed      = flag.String("seed", "", "deterministic seed (testing only; empty = crypto/rand)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "protocol deadline and per-receive bound")
+		traceFile = flag.String("trace", "", "write this party's JSONL span trace to this file (- for stderr); written even on abort")
+		metrics   = flag.Bool("metrics", false, "print this party's per-phase summary table to stderr")
 	)
 	flag.Parse()
 
@@ -54,12 +56,42 @@ func run() int {
 		return 2
 	}
 
+	var obs *groupranking.Observer
+	if *traceFile != "" || *metrics {
+		obs = groupranking.NewObserver()
+	}
+	report := func() {
+		if obs == nil {
+			return
+		}
+		if *traceFile != "" {
+			out := os.Stderr
+			if *traceFile != "-" {
+				f, err := os.Create(*traceFile)
+				if err != nil {
+					log.Printf("trace: %v", err)
+				} else {
+					defer f.Close()
+					out = f
+				}
+			}
+			if err := obs.WriteJSONL(out); err != nil {
+				log.Printf("trace: %v", err)
+			}
+		}
+		if *metrics {
+			obs.WriteSummary(os.Stderr)
+		}
+	}
+
 	rank, err := groupranking.UnlinkableSortParty(addrs, *me, *value, groupranking.SortOptions{
 		Bits:      *bits,
 		GroupName: *groupName,
 		Seed:      *seed,
 		Timeout:   *timeout,
+		Observer:  obs,
 	})
+	report()
 	if err != nil {
 		// A peer failure carries the abort protocol's diagnosis: which
 		// party failed, in which phase, waiting on which round.

@@ -36,9 +36,21 @@ import (
 
 	"groupranking/internal/core"
 	"groupranking/internal/group"
+	"groupranking/internal/obsv"
 	"groupranking/internal/transport"
 	"groupranking/internal/workload"
 )
+
+// Observer is the protocol observability registry: it collects
+// phase-scoped spans per party (wall time plus crypto and communication
+// counters) while a run is in flight. Create one with NewObserver, pass
+// it via Options.Observer or SortOptions.Observer, and export with
+// WriteJSONL (one span per line), WriteSummary (per-phase table) or
+// Spans. A nil Observer disables observability at zero cost.
+type Observer = obsv.Registry
+
+// NewObserver creates an empty observability registry.
+func NewObserver() *Observer { return obsv.NewRegistry() }
 
 // Attribute kinds (Section III-A of the paper).
 const (
@@ -115,6 +127,11 @@ type Options struct {
 	// duplicates, reorders, corruption, link severs, party crashes) into
 	// the run for robustness testing. See FaultPlan.
 	Faults *FaultPlan
+	// Observer, when non-nil, records per-party phase spans and crypto/
+	// communication counters for the run (party 0 is the initiator,
+	// parties 1..n the participants). On abort the partially filled
+	// Observer still holds every span up to the failure.
+	Observer *Observer
 }
 
 // FaultPlan describes a deterministic fault-injection schedule; see
@@ -202,7 +219,7 @@ func Rank(q *Questionnaire, criterion Criterion, profiles []Profile, opts Option
 		Group: g, Sorter: o.Sorter, SkipProofs: o.SkipProofs,
 		ProveDecryption: o.ProveDecryption,
 	}
-	ctx := context.Background()
+	ctx := obsv.WithRegistry(context.Background(), o.Observer)
 	if o.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)

@@ -14,6 +14,7 @@ import (
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/group"
 	"groupranking/internal/leakcheck"
+	"groupranking/internal/obsv"
 	"groupranking/internal/transport"
 	"groupranking/internal/unlinksort"
 	"groupranking/internal/workload"
@@ -188,6 +189,62 @@ func TestChaosFramework(t *testing.T) {
 				}
 			})
 		})
+	}
+}
+
+// TestAbortLeavesPartialTrace crashes one participant from its first
+// send and asserts the observability registry outlives the abort: the
+// spans recorded up to the failure are still there, and the phase the
+// typed abort names is among them — the contract the CLIs rely on when
+// they dump a partial trace next to the abort diagnosis.
+func TestAbortLeavesPartialTrace(t *testing.T) {
+	leakcheck.Check(t)
+	g := chaosGroup(t)
+	params := core.Params{
+		N: 4, M: 2, T: 1, D1: 4, D2: 3, H: 4, K: 2,
+		Group: g, SkipProofs: true,
+	}
+	q, err := workload.Uniform(params.M, params.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := fixedbig.NewDRBG("chaos-partial-trace")
+	crit, err := workload.RandomCriterion(q, params.D1, params.D2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := workload.RandomProfiles(q, params.N, params.D1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.Inputs{Questionnaire: q, Criterion: crit, Profiles: profiles}
+	var fn *transport.FaultNet
+	wrap := func(n transport.Net) transport.Net {
+		fn = transport.NewFaultNet(n, transport.FaultPlan{
+			Rules: []transport.FaultRule{transport.CrashAt(2, -1)},
+		})
+		return fn
+	}
+	reg := obsv.NewRegistry()
+	ctx := obsv.WithRegistry(context.Background(), reg)
+	_, _, err = core.RunCtx(ctx, params, in, "chaos-partial-trace", wrap,
+		transport.WithRecvTimeout(500*time.Millisecond))
+	fn.Flush()
+	fn.Wait()
+	var abort *transport.AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("crash did not produce a typed abort: %v", err)
+	}
+	spans := reg.Spans()
+	if len(spans) == 0 {
+		t.Fatal("aborted run left an empty registry; partial spans must survive")
+	}
+	phases := make(map[string]bool)
+	for _, sp := range spans {
+		phases[sp.Phase] = true
+	}
+	if !phases[abort.Phase] {
+		t.Errorf("abort names phase %q but the trace only has %v", abort.Phase, phases)
 	}
 }
 

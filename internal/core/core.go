@@ -30,6 +30,7 @@ import (
 	"groupranking/internal/dotprod"
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/group"
+	"groupranking/internal/obsv"
 	"groupranking/internal/ssmpc"
 	"groupranking/internal/sssort"
 	"groupranking/internal/transport"
@@ -150,6 +151,18 @@ const (
 	roundSubmission = 1 << 20
 )
 
+// Span names of the framework's own phases. Phase 2 spans come from
+// the sorting subprotocol (unlinksort.Phases, or PhaseSSSort for the
+// secret-sharing baseline).
+const (
+	PhaseGain       = "gain"
+	PhaseSSSort     = "ssmpc"
+	PhaseSubmission = "submission"
+)
+
+// Phases lists the framework-level span names for the guard test.
+var Phases = []string{PhaseGain, PhaseSubmission}
+
 // Submission is what a top-k participant hands to the initiator.
 type Submission struct {
 	// Participant is the participant index (0-based within 0..n−1).
@@ -220,12 +233,17 @@ func RunInitiatorCtx(ctx context.Context, params Params, q *workload.Questionnai
 	if err := params.Validate(); err != nil {
 		return nil, nil, err
 	}
+	obs := obsv.PartyFrom(ctx)
+	fab = obsv.ObservedNet(fab, obs)
+	defer obs.End()
 	prime, err := params.fieldPrime()
 	if err != nil {
 		return nil, nil, err
 	}
 	dp := dotprod.DefaultSRange(prime)
+	dp.Obs = obs
 
+	obs.Begin(PhaseGain)
 	// Step 1: pick the h-bit masking factor ρ ≥ 1 (top bit set so every
 	// ρ_j < ρ preserves the partial-gain order).
 	rhoLow, err := fixedbig.RandBits(rng, params.H-1)
@@ -266,6 +284,7 @@ func RunInitiatorCtx(ctx context.Context, params Params, q *workload.Questionnai
 	}
 
 	// Phase 3: collect one submission or decline from every participant.
+	obs.Begin(PhaseSubmission)
 	subs, err := fab.GatherAllCtx(ctx, 0, roundSubmission)
 	if err != nil {
 		return nil, nil, transport.AnnotatePhase(err, "submission")
@@ -357,14 +376,23 @@ func RunParticipantCtx(ctx context.Context, params Params, j int, q *workload.Qu
 	if j < 1 || j > params.N {
 		return out, fmt.Errorf("core: participant index %d outside [1, %d]", j, params.N)
 	}
+	// Observability: core's own sends go through the wrapped handle
+	// ofab; the phase-2 SubView below is built over the RAW fabric
+	// because the sorting subprotocols install their own counting
+	// wrapper at the leaf (see obsv.ObservedNet).
+	obs := obsv.PartyFrom(ctx)
+	ofab := obsv.ObservedNet(fab, obs)
+	defer obs.End()
 	prime, err := params.fieldPrime()
 	if err != nil {
 		return out, err
 	}
 	dp := dotprod.DefaultSRange(prime)
+	dp.Obs = obs
 	l := params.BetaBits()
 
 	// Phase 1: dot product with the initiator, recover β.
+	obs.Begin(PhaseGain)
 	wPrime, err := q.ParticipantVector(profile)
 	if err != nil {
 		return out, err
@@ -373,10 +401,10 @@ func RunParticipantCtx(ctx context.Context, params Params, j int, q *workload.Qu
 	if err != nil {
 		return out, err
 	}
-	if err := fab.Send(roundGainRequest, j, 0, flow.WireBytes(dp), flow); err != nil {
+	if err := ofab.Send(roundGainRequest, j, 0, flow.WireBytes(dp), flow); err != nil {
 		return out, transport.AnnotatePhase(err, "gain")
 	}
-	payload, err := fab.RecvCtx(ctx, j, 0, roundGainReply)
+	payload, err := ofab.RecvCtx(ctx, j, 0, roundGainReply)
 	if err != nil {
 		return out, transport.AnnotatePhase(err, "gain")
 	}
@@ -427,13 +455,14 @@ func RunParticipantCtx(ctx context.Context, params Params, j int, q *workload.Qu
 	}
 
 	// Phase 3: submit if ranked in the top k, decline otherwise.
+	obs.Begin(PhaseSubmission)
 	msg := submissionMsg{Declined: true}
 	bytes := 1
 	if out.Rank <= params.K {
 		msg = submissionMsg{Rank: out.Rank, Values: append([]int64(nil), profile.Values...)}
 		bytes = 8 * (1 + len(msg.Values))
 	}
-	if err := fab.Send(roundSubmission, j, 0, bytes, msg); err != nil {
+	if err := ofab.Send(roundSubmission, j, 0, bytes, msg); err != nil {
 		return out, transport.AnnotatePhase(err, "submission")
 	}
 	return out, nil
@@ -443,6 +472,7 @@ func RunParticipantCtx(ctx context.Context, params Params, j int, q *workload.Qu
 // shared, sorted with the Batcher network, opened, and each participant
 // locates her own β in the sorted sequence.
 func ssBaselineRank(ctx context.Context, params Params, me int, net transport.Net, betaU *big.Int, rng io.Reader) (int, error) {
+	obsv.PartyFrom(ctx).Begin(PhaseSSSort)
 	prime, err := params.ssFieldPrime()
 	if err != nil {
 		return 0, err
@@ -527,14 +557,19 @@ func RunCtx(ctx context.Context, params Params, in Inputs, seed string, wrap fun
 		flagged []int
 		err     error
 	}
+	reg := obsv.RegistryFrom(ctx)
+
 	initCh := make(chan initOut, 1)
 	go func() {
-		rng := fixedbig.NewDRBG(seed + "-initiator")
-		subs, flagged, err := RunInitiatorCtx(runCtx, params, in.Questionnaire, in.Criterion, net, rng)
-		if err != nil {
-			cancel()
-		}
-		initCh <- initOut{subs: subs, flagged: flagged, err: err}
+		pctx := obsv.WithParty(runCtx, reg.Party(0))
+		obsv.Do(pctx, 0, func(ctx context.Context) {
+			rng := fixedbig.NewDRBG(seed + "-initiator")
+			subs, flagged, err := RunInitiatorCtx(ctx, params, in.Questionnaire, in.Criterion, net, rng)
+			if err != nil {
+				cancel()
+			}
+			initCh <- initOut{subs: subs, flagged: flagged, err: err}
+		})
 	}()
 
 	type partOut struct {
@@ -546,12 +581,15 @@ func RunCtx(ctx context.Context, params Params, in Inputs, seed string, wrap fun
 	for j := 1; j <= params.N; j++ {
 		j := j
 		go func() {
-			rng := fixedbig.NewDRBG(fmt.Sprintf("%s-participant-%d", seed, j))
-			out, err := RunParticipantCtx(runCtx, params, j, in.Questionnaire, in.Profiles[j-1], net, rng)
-			if err != nil {
-				cancel()
-			}
-			partCh <- partOut{j: j, out: out, err: err}
+			pctx := obsv.WithParty(runCtx, reg.Party(j))
+			obsv.Do(pctx, j, func(ctx context.Context) {
+				rng := fixedbig.NewDRBG(fmt.Sprintf("%s-participant-%d", seed, j))
+				out, err := RunParticipantCtx(ctx, params, j, in.Questionnaire, in.Profiles[j-1], net, rng)
+				if err != nil {
+					cancel()
+				}
+				partCh <- partOut{j: j, out: out, err: err}
+			})
 		}()
 	}
 

@@ -20,6 +20,7 @@ import (
 	"math/big"
 
 	"groupranking/internal/fixedbig"
+	"groupranking/internal/obsv"
 )
 
 // Params fixes the field and the random matrix size range.
@@ -30,6 +31,9 @@ type Params struct {
 	// SMin and SMax bound the random matrix dimension s (inclusive).
 	// The paper notes s need not be large; defaults are 5..10.
 	SMin, SMax int
+	// Obs, when non-nil, receives the field-multiplication counts of
+	// this party's side of the protocol.
+	Obs *obsv.Party
 }
 
 // DefaultSRange returns params with the default s range over field P.
@@ -211,6 +215,11 @@ func NewBob(params Params, w []*big.Int, rng io.Reader) (*Bob, *BobMessage, erro
 		}
 	}
 
+	// Multiplication census of the flows above: the c accumulation
+	// ((s−1)·d), the two mask products, the c'/g masking (2d) and the
+	// QX product (s²·d).
+	params.Obs.Add(obsv.OpFieldMul, int64((s-1)*d+2+2*d+s*s*d))
+
 	return &Bob{params: params, b: b, r2: r2, r3: r3},
 		&BobMessage{QX: qx, CPrime: cPrime, G: g}, nil
 }
@@ -251,6 +260,8 @@ func AliceRespond(params Params, msg *BobMessage, v []*big.Int, alpha *big.Int) 
 	a := new(big.Int).Sub(z, dot(msg.CPrime, vPrime, P))
 	a.Mod(a, P)
 	h := dot(msg.G, vPrime, P)
+	// z is s·d multiplications, the two dot products d each.
+	params.Obs.Add(obsv.OpFieldMul, int64(s*d+2*d))
 	return &AliceReply{A: a, H: h}, nil
 }
 
@@ -271,6 +282,7 @@ func (bob *Bob) Finish(reply *AliceReply) (*big.Int, error) {
 	if binv == nil {
 		return nil, fmt.Errorf("dotprod: b not invertible")
 	}
+	bob.params.Obs.Add(obsv.OpFieldMul, 3)
 	beta := new(big.Int).Mul(reply.H, bob.r2)
 	beta.Mul(beta, r3inv)
 	beta.Add(beta, reply.A)

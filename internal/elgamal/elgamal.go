@@ -14,6 +14,7 @@ import (
 	"math/big"
 
 	"groupranking/internal/group"
+	"groupranking/internal/obsv"
 )
 
 // Ciphertext is an ElGamal ciphertext (C, C1) with C = M·y^r (or
@@ -61,6 +62,7 @@ func (s *Scheme) JointPublicKey(shares []group.Element) group.Element {
 
 // Encrypt is standard ElGamal encryption of a group element M.
 func (s *Scheme) Encrypt(pk group.Element, m group.Element, rng io.Reader) (Ciphertext, error) {
+	obsv.PartyOf(s.g).Add(obsv.OpEncrypt, 1)
 	r, err := s.g.RandomScalar(rng)
 	if err != nil {
 		return Ciphertext{}, fmt.Errorf("elgamal: encrypting: %w", err)
@@ -73,14 +75,33 @@ func (s *Scheme) Encrypt(pk group.Element, m group.Element, rng io.Reader) (Ciph
 
 // Decrypt is standard ElGamal decryption: M = C / C1^x.
 func (s *Scheme) Decrypt(x *big.Int, ct Ciphertext) group.Element {
+	obsv.PartyOf(s.g).Add(obsv.OpDecrypt, 1)
 	return s.g.Op(ct.C, s.g.Inv(s.g.Exp(ct.C1, x)))
 }
+
+// encodeExp maps an integer into the group's exponent encoding g^m. The
+// values the protocol encodes hottest — bits and the +1 of the γ
+// complement — short-circuit to the identity and the generator, which
+// both removes an exponentiation from every bitwise encryption and
+// makes the scheme's exponentiation count independent of the plaintext
+// bit pattern (so the cost model can predict it exactly).
+func (s *Scheme) encodeExp(m *big.Int) group.Element {
+	switch {
+	case m.Sign() == 0:
+		return s.g.Identity()
+	case m.Cmp(oneInt) == 0:
+		return s.g.Generator()
+	}
+	return group.ExpGen(s.g, m)
+}
+
+var oneInt = big.NewInt(1)
 
 // EncryptExp encrypts an integer in the exponent: E(m) = (g^m·y^r, g^r).
 // Decryption recovers g^m only; the framework never needs m itself, only
 // whether m = 0 (Section IV-D).
 func (s *Scheme) EncryptExp(pk group.Element, m *big.Int, rng io.Reader) (Ciphertext, error) {
-	return s.Encrypt(pk, group.ExpGen(s.g, m), rng)
+	return s.Encrypt(pk, s.encodeExp(m), rng)
 }
 
 // Add homomorphically adds the plaintext exponents of two ciphertexts.
@@ -102,9 +123,13 @@ func (s *Scheme) ScalarMul(a Ciphertext, k *big.Int) Ciphertext {
 }
 
 // AddPlain adds a public integer to the plaintext exponent without fresh
-// randomness (the caller re-randomises separately when needed).
+// randomness (the caller re-randomises separately when needed). Adding
+// zero is the identity and costs nothing.
 func (s *Scheme) AddPlain(a Ciphertext, m *big.Int) Ciphertext {
-	return Ciphertext{C: s.g.Op(a.C, group.ExpGen(s.g, m)), C1: a.C1}
+	if m.Sign() == 0 {
+		return a
+	}
+	return Ciphertext{C: s.g.Op(a.C, s.encodeExp(m)), C1: a.C1}
 }
 
 // ReRandomize refreshes the randomness of a ciphertext under pk by adding
@@ -133,6 +158,7 @@ func (s *Scheme) ExponentBlind(a Ciphertext, rng io.Reader) (Ciphertext, error) 
 // PartialDecrypt strips one key layer: C → C / C1^x. After every holder
 // of a key share has applied it, the remaining C equals g^m.
 func (s *Scheme) PartialDecrypt(x *big.Int, a Ciphertext) Ciphertext {
+	obsv.PartyOf(s.g).Add(obsv.OpDecrypt, 1)
 	return Ciphertext{
 		C:  s.g.Op(a.C, s.g.Inv(s.g.Exp(a.C1, x))),
 		C1: a.C1,

@@ -1,0 +1,50 @@
+package obsv
+
+import (
+	"testing"
+
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/group"
+)
+
+// BenchmarkGroupExp quantifies the observability tax on the hot
+// primitive. "disabled" must match "raw" exactly — Group(g, nil) is the
+// identity, so a run without a registry pays nothing — and "enabled" is
+// one atomic add per exponentiation.
+func BenchmarkGroupExp(b *testing.B) {
+	g, err := group.ByName("toy-dl-256")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := fixedbig.NewDRBG("obsv-bench")
+	k, err := g.RandomScalar(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := group.ExpGen(g, k)
+
+	b.Run("raw", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Exp(base, k)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		w := Group(g, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Exp(base, k)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		reg := NewRegistry()
+		p := reg.Party(0)
+		p.Begin("bench")
+		w := Group(g, p)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Exp(base, k)
+		}
+		p.End()
+	})
+}

@@ -1,0 +1,253 @@
+package obsv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/group"
+	"groupranking/internal/transport"
+)
+
+func TestNilFastPath(t *testing.T) {
+	var r *Registry
+	p := r.Party(3)
+	if p != nil {
+		t.Fatal("nil registry must hand out nil parties")
+	}
+	// Every operation on the disabled handles must be a no-op, not a panic.
+	p.Add(OpGroupExp, 1)
+	p.Begin("x")
+	p.End()
+	if p.Total(OpGroupExp) != 0 || p.Index() != -1 {
+		t.Error("nil party reported state")
+	}
+	if r.Total(OpGroupExp) != 0 || r.PartyTotal(0, OpGroupExp) != 0 {
+		t.Error("nil registry reported totals")
+	}
+	if r.Spans() != nil || r.Phases() != nil {
+		t.Error("nil registry reported spans")
+	}
+	ctx := WithRegistry(context.Background(), nil)
+	if RegistryFrom(ctx) != nil || PartyFrom(ctx) != nil {
+		t.Error("disabled context carried observability state")
+	}
+}
+
+func TestWrappersIdentityWhenDisabled(t *testing.T) {
+	g, err := group.ByName("toy-dl-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Group(g, nil) != g {
+		t.Error("Group(g, nil) must return g unchanged")
+	}
+	fab, err := transport.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ObservedNet(fab, nil) != transport.Net(fab) {
+		t.Error("ObservedNet(n, nil) must return n unchanged")
+	}
+	if PartyOf(g) != nil {
+		t.Error("PartyOf on an unwrapped group must be nil")
+	}
+}
+
+func TestWrapperIdempotent(t *testing.T) {
+	g, err := group.ByName("toy-dl-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	p := reg.Party(0)
+	w := Group(g, p)
+	if Group(w, p) != w {
+		t.Error("re-wrapping for the same party must be the identity")
+	}
+	if PartyOf(w) != p {
+		t.Error("PartyOf lost the party")
+	}
+}
+
+func TestCountingGroup(t *testing.T) {
+	g, err := group.ByName("toy-dl-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	p := reg.Party(1)
+	w := Group(g, p)
+	p.Begin("phase-a")
+	k, err := w.RandomScalar(fixedbig.NewDRBG("obsv-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := group.ExpGen(w, k) // delegates to w.Exp → counted
+	e = w.Op(e, e)
+	_ = w.Inv(e)
+	p.End()
+	if got := p.Total(OpGroupExp); got != 1 {
+		t.Errorf("exp count %d, want 1", got)
+	}
+	if got := p.Total(OpGroupOp); got != 1 {
+		t.Errorf("op count %d, want 1", got)
+	}
+	if got := p.Total(OpGroupInv); got != 1 {
+		t.Errorf("inv count %d, want 1", got)
+	}
+}
+
+func TestObservedNetCounts(t *testing.T) {
+	fab, err := transport.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	p := reg.Party(0)
+	net := ObservedNet(fab, p)
+	if err := net.Send(1, 0, 1, 10, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Broadcast(2, 0, 7, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Total(OpMsgSent); got != 3 { // 1 send + 2 broadcast legs
+		t.Errorf("msgs %d, want 3", got)
+	}
+	if got := p.Total(OpByteSent); got != 24 { // 10 + 2·7
+		t.Errorf("bytes %d, want 24", got)
+	}
+	s := fab.Stats()
+	if s.MessagesSent[0] != 3 || s.BytesSent[0] != 24 {
+		t.Errorf("fabric disagrees: %d msgs, %d bytes", s.MessagesSent[0], s.BytesSent[0])
+	}
+}
+
+func TestOrphanSpan(t *testing.T) {
+	reg := NewRegistry()
+	p := reg.Party(2)
+	p.Add(OpEncrypt, 5) // no span open
+	spans := reg.Spans()
+	if len(spans) != 1 || spans[0].Phase != "(unattributed)" || spans[0].Counts["elgamal_enc"] != 5 {
+		t.Errorf("orphan span missing or wrong: %+v", spans)
+	}
+	if p.Total(OpEncrypt) != 5 {
+		t.Errorf("orphan counts not in totals")
+	}
+}
+
+// TestRegistryConcurrent exercises the registry the way a protocol run
+// does — every party adding, beginning and ending spans concurrently
+// while the main goroutine snapshots — and relies on -race (wired into
+// make check) to prove the hot path is data-race free.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const parties, iters = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := reg.Party(i)
+			for k := 0; k < iters; k++ {
+				switch k % 3 {
+				case 0:
+					p.Begin("alpha")
+				case 1:
+					p.Add(OpGroupExp, 1)
+					p.Add(OpByteSent, 32)
+				case 2:
+					p.End()
+				}
+			}
+			p.End()
+		}()
+	}
+	// Snapshot mid-flight: Spans and totals must be safe during the run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for j := 0; j < 50; j++ {
+			reg.Spans()
+			reg.Total(OpGroupExp)
+		}
+	}()
+	wg.Wait()
+	<-done
+	perParty := 0
+	for k := 0; k < iters; k++ {
+		if k%3 == 1 {
+			perParty++
+		}
+	}
+	want := int64(parties * perParty)
+	if got := reg.Total(OpGroupExp); got != want {
+		t.Errorf("total exps %d, want %d", got, want)
+	}
+}
+
+func TestExporters(t *testing.T) {
+	reg := NewRegistry()
+	p := reg.Party(0)
+	p.Begin("keygen")
+	p.Add(OpGroupExp, 4)
+	p.Begin("chain")
+	p.Add(OpMsgSent, 2)
+	p.Add(OpByteSent, 100)
+	p.End()
+
+	var jsonl bytes.Buffer
+	if err := reg.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL spans, got %d: %q", len(lines), jsonl.String())
+	}
+	var snap SpanSnapshot
+	if err := json.Unmarshal([]byte(lines[0]), &snap); err != nil {
+		t.Fatalf("line not valid JSON: %v", err)
+	}
+	if snap.Phase != "keygen" || snap.Counts["group_exp"] != 4 {
+		t.Errorf("first span wrong: %+v", snap)
+	}
+
+	var sum bytes.Buffer
+	if err := reg.WriteSummary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	out := sum.String()
+	for _, want := range []string{"keygen", "chain", "phase", "party"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDisabledAddsNoAllocations is the zero-overhead contract: with
+// observability off, the hooks in the hot path must not allocate.
+func TestDisabledAddsNoAllocations(t *testing.T) {
+	var p *Party
+	if n := testing.AllocsPerRun(100, func() {
+		p.Add(OpGroupExp, 1)
+	}); n != 0 {
+		t.Errorf("nil-party Add allocates %.1f objects/op", n)
+	}
+	g, err := group.ByName("toy-dl-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if Group(g, nil) != g {
+			t.Fatal("wrapper not identity")
+		}
+	}); n != 0 {
+		t.Errorf("disabled Group wrap allocates %.1f objects/op", n)
+	}
+}

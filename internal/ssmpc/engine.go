@@ -17,6 +17,7 @@ import (
 	"io"
 	"math/big"
 
+	"groupranking/internal/obsv"
 	"groupranking/internal/shamir"
 	"groupranking/internal/transport"
 )
@@ -70,6 +71,7 @@ type Engine struct {
 	ctx    context.Context
 	round  int
 	ctr    Counters
+	obs    *obsv.Party
 	lambda []*big.Int // Lagrange coefficients at 0 for abscissae 1..N
 }
 
@@ -106,7 +108,11 @@ func NewEngineCtx(ctx context.Context, cfg Config, me int, fab transport.Net, rn
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Engine{cfg: cfg, me: me, fab: fab, rng: rng, ctx: ctx, lambda: lambda}, nil
+	// Observability: the party handle rides in on the context; the net
+	// wrapper charges this engine's sends to the party's current span.
+	obs := obsv.PartyFrom(ctx)
+	fab = obsv.ObservedNet(fab, obs)
+	return &Engine{cfg: cfg, me: me, fab: fab, rng: rng, ctx: ctx, obs: obs, lambda: lambda}, nil
 }
 
 // recv is the engine's context-aware, round-checked receive.
@@ -137,6 +143,7 @@ func (e *Engine) fieldBytes() int { return (e.cfg.P.BitLen() + 7) / 8 }
 func (e *Engine) nextRound() int {
 	e.round++
 	e.ctr.Rounds++
+	e.obs.Add(obsv.OpSSRound, 1)
 	return e.round
 }
 
@@ -201,6 +208,7 @@ func (e *Engine) Share(dealer int, secret *big.Int) (Share, error) {
 func (e *Engine) OpenBatch(shares []Share) ([]*big.Int, error) {
 	round := e.nextRound()
 	e.ctr.Opens += int64(len(shares))
+	e.obs.Add(obsv.OpSSOpen, int64(len(shares)))
 	mine := make([]*big.Int, len(shares))
 	for i, s := range shares {
 		mine[i] = s.y
@@ -285,6 +293,7 @@ func (e *Engine) MulBatch(as, bs []Share) ([]Share, error) {
 	}
 	round := e.nextRound()
 	e.ctr.Mults += int64(k)
+	e.obs.Add(obsv.OpSSMul, int64(k))
 
 	// perParty[j][i] is the piece for party j of my i-th product share.
 	perParty := make([][]*big.Int, e.cfg.N)

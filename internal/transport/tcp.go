@@ -39,7 +39,7 @@ type TCPFabric struct {
 	msgs     int64
 	bytes    int64
 	maxRound int
-	rounds   map[int]struct{}
+	rounds   map[int]RoundStats
 	recvErr  []error // first reader-pump error per peer
 
 	closeOnce sync.Once
@@ -87,7 +87,7 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 		encMu:   make([]sync.Mutex, n),
 		inbox:   make([]chan envelope, n),
 		timeout: timeout,
-		rounds:  make(map[int]struct{}),
+		rounds:  make(map[int]RoundStats),
 		recvErr: make([]error, n),
 		closeCh: make(chan struct{}),
 	}
@@ -252,7 +252,10 @@ func (f *TCPFabric) Send(round, from, to, bytes int, payload any) error {
 	if round > f.maxRound {
 		f.maxRound = round
 	}
-	f.rounds[round] = struct{}{}
+	rs := f.rounds[round]
+	rs.Messages++
+	rs.Bytes += int64(bytes)
+	f.rounds[round] = rs
 	conn := f.conns[to]
 	f.mu.Unlock()
 
@@ -357,12 +360,34 @@ func (f *TCPFabric) GatherAllCtx(ctx context.Context, to, round int) ([]any, err
 	return gatherAll(ctx, f, to, round)
 }
 
-// LocalStats reports this endpoint's send counters (a TCP endpoint only
-// observes its own traffic).
-func (f *TCPFabric) LocalStats() (messages, bytes int64, rounds int) {
+// Stats reports this endpoint's traffic in the same per-party shape as
+// Fabric.Stats. A TCP endpoint only observes its own sends, so only the
+// slot at this party's index is populated; the other slots are zero.
+func (f *TCPFabric) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.msgs, f.bytes, len(f.rounds)
+	s := Stats{
+		MessagesSent:   make([]int64, f.n),
+		BytesSent:      make([]int64, f.n),
+		MaxRound:       f.maxRound,
+		DistinctRounds: len(f.rounds),
+		PerRound:       make(map[int]RoundStats, len(f.rounds)),
+	}
+	s.MessagesSent[f.me] = f.msgs
+	s.BytesSent[f.me] = f.bytes
+	for r, rs := range f.rounds {
+		s.PerRound[r] = rs
+	}
+	return s
+}
+
+// LocalStats reports this endpoint's send counters.
+//
+// Deprecated: use Stats, which returns the same per-party shape as the
+// in-memory Fabric so callers need not special-case the transport.
+func (f *TCPFabric) LocalStats() (messages, bytes int64, rounds int) {
+	s := f.Stats()
+	return s.MessagesSent[f.me], s.BytesSent[f.me], s.DistinctRounds
 }
 
 // Close tears down the endpoint gracefully: it stops the reader pumps,

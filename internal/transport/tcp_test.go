@@ -139,14 +139,31 @@ func TestTCPTimeout(t *testing.T) {
 	}
 }
 
-func TestTCPLocalStats(t *testing.T) {
+func TestTCPStats(t *testing.T) {
 	fabrics := buildMesh(t, 2)
 	if err := fabrics[0].Send(7, 0, 1, 100, wirePayload{}); err != nil {
 		t.Fatal(err)
 	}
+	s := fabrics[0].Stats()
+	if len(s.MessagesSent) != 2 || len(s.BytesSent) != 2 {
+		t.Fatalf("stats slices sized %d/%d, want 2/2", len(s.MessagesSent), len(s.BytesSent))
+	}
+	if s.MessagesSent[0] != 1 || s.BytesSent[0] != 100 {
+		t.Errorf("own slot = %d msgs, %d bytes", s.MessagesSent[0], s.BytesSent[0])
+	}
+	if s.MessagesSent[1] != 0 || s.BytesSent[1] != 0 {
+		t.Errorf("peer slot should be zero, got %d msgs, %d bytes", s.MessagesSent[1], s.BytesSent[1])
+	}
+	if s.MaxRound != 7 || s.DistinctRounds != 1 {
+		t.Errorf("rounds: max %d, distinct %d", s.MaxRound, s.DistinctRounds)
+	}
+	if rs := s.PerRound[7]; rs.Messages != 1 || rs.Bytes != 100 {
+		t.Errorf("per-round[7] = %+v", rs)
+	}
+	// Deprecated surface stays consistent with Stats.
 	msgs, bytes, rounds := fabrics[0].LocalStats()
 	if msgs != 1 || bytes != 100 || rounds != 1 {
-		t.Errorf("stats = %d msgs, %d bytes, %d rounds", msgs, bytes, rounds)
+		t.Errorf("LocalStats = %d msgs, %d bytes, %d rounds", msgs, bytes, rounds)
 	}
 }
 

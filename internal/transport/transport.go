@@ -29,7 +29,17 @@ type Event struct {
 	Bytes int
 }
 
-// Stats summarises per-party traffic.
+// RoundStats aggregates the traffic of one logical round across all
+// senders.
+type RoundStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Stats summarises per-party traffic. Both fabric implementations
+// return the same shape: the in-memory Fabric observes every party,
+// a TCP endpoint fills only its own slot (a real endpoint cannot see
+// its peers' counters).
 type Stats struct {
 	MessagesSent []int64
 	BytesSent    []int64
@@ -38,6 +48,9 @@ type Stats struct {
 	// DistinctRounds is the number of distinct round tags used — the
 	// framework's actual communication-round count.
 	DistinctRounds int
+	// PerRound breaks traffic down by round tag, summed over the
+	// observed senders.
+	PerRound map[int]RoundStats
 }
 
 // Option configures a Fabric.
@@ -90,7 +103,7 @@ type Fabric struct {
 	msgs     []int64
 	bytes    []int64
 	maxRound int
-	rounds   map[int]struct{}
+	rounds   map[int]RoundStats
 }
 
 type message struct {
@@ -104,7 +117,7 @@ func New(n int, opts ...Option) (*Fabric, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: need at least one party, got %d", n)
 	}
-	f := &Fabric{n: n, capacity: 4096, msgs: make([]int64, n), bytes: make([]int64, n), rounds: make(map[int]struct{})}
+	f := &Fabric{n: n, capacity: 4096, msgs: make([]int64, n), bytes: make([]int64, n), rounds: make(map[int]RoundStats)}
 	for _, opt := range opts {
 		opt(f)
 	}
@@ -154,7 +167,10 @@ func (f *Fabric) Send(round, from, to, bytes int, payload any) error {
 	if round > f.maxRound {
 		f.maxRound = round
 	}
-	f.rounds[round] = struct{}{}
+	rs := f.rounds[round]
+	rs.Messages++
+	rs.Bytes += int64(bytes)
+	f.rounds[round] = rs
 	if !f.traceOff {
 		f.trace = append(f.trace, ev)
 	}
@@ -289,9 +305,13 @@ func (f *Fabric) Stats() Stats {
 		BytesSent:      make([]int64, f.n),
 		MaxRound:       f.maxRound,
 		DistinctRounds: len(f.rounds),
+		PerRound:       make(map[int]RoundStats, len(f.rounds)),
 	}
 	copy(s.MessagesSent, f.msgs)
 	copy(s.BytesSent, f.bytes)
+	for r, rs := range f.rounds {
+		s.PerRound[r] = rs
+	}
 	return s
 }
 

@@ -42,9 +42,26 @@ import (
 	"groupranking/internal/elgamal"
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/group"
+	"groupranking/internal/obsv"
 	"groupranking/internal/transport"
 	"groupranking/internal/zkp"
 )
+
+// Span names of this protocol's phases, in execution order. The
+// observability guard test asserts every one of them appears in an
+// emitted trace (PhaseKeyProof only when proofs are enabled), so no
+// phase can silently fall out of observation.
+const (
+	PhaseKeygen      = "keygen"
+	PhaseKeyProof    = "key-proof"
+	PhasePublishBits = "publish-bits"
+	PhaseCompare     = "compare"
+	PhaseChain       = "chain"
+	PhaseFinalSet    = "final-set"
+)
+
+// Phases lists the span names above for the guard test.
+var Phases = []string{PhaseKeygen, PhaseKeyProof, PhasePublishBits, PhaseCompare, PhaseChain, PhaseFinalSet}
 
 // Config fixes the protocol parameters shared by all parties.
 type Config struct {
@@ -192,27 +209,40 @@ func PartyCtx(ctx context.Context, cfg Config, me int, fab transport.Net, beta *
 	if beta.Sign() < 0 || beta.BitLen() > cfg.L {
 		return Result{}, fmt.Errorf("unlinksort: value does not fit in %d bits", cfg.L)
 	}
+	// Observability: the party handle (if any) rides in on the context.
+	// Wrapping the group charges every exponentiation below — including
+	// those inside elgamal and zkp — to this party's current span, and
+	// wrapping the net charges its sends; both wrappers are nil no-ops
+	// when observability is off.
+	obs := obsv.PartyFrom(ctx)
+	cfg.Group = obsv.Group(cfg.Group, obs)
+	fab = obsv.ObservedNet(fab, obs)
+	defer obs.End()
 	scheme := elgamal.NewScheme(cfg.Group)
 
 	// Step 5: key generation and knowledge proofs.
+	obs.Begin(PhaseKeygen)
 	key, joint, ys, err := keyPhase(ctx, cfg, scheme, me, fab, rng)
 	if err != nil {
 		return Result{}, err
 	}
 
 	// Step 6: publish the bitwise encryption of beta.
+	obs.Begin(PhasePublishBits)
 	myBits, theirCts, err := publishBits(ctx, cfg, scheme, me, fab, joint, beta, rng)
 	if err != nil {
 		return Result{}, err
 	}
 
 	// Step 7: homomorphic comparison circuit against every other party.
+	obs.Begin(PhaseCompare)
 	mySet, err := compareAll(cfg, scheme, joint, myBits, theirCts, rng)
 	if err != nil {
 		return Result{}, err
 	}
 
 	// Step 8: decrypt-and-shuffle chain.
+	obs.Begin(PhaseChain)
 	finalSet, err := chainPhase(ctx, cfg, scheme, me, fab, key, ys, mySet, rng)
 	if err != nil {
 		return Result{}, err
@@ -260,6 +290,7 @@ func keyPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int, f
 	}
 
 	if !cfg.SkipProofs {
+		obsv.PartyOf(cfg.Group).Begin(PhaseKeyProof)
 		if err := proofPhase(ctx, cfg, me, fab, key, ys, rng); err != nil {
 			return nil, nil, nil, err
 		}
@@ -635,6 +666,7 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 	}
 
 	// Receive my fully processed set.
+	obsv.PartyOf(cfg.Group).Begin(PhaseFinalSet)
 	if me == n-1 {
 		return out.V[me], nil
 	}
@@ -824,6 +856,7 @@ func RunCtx(ctx context.Context, cfg Config, betas []*big.Int, seed string, wrap
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	reg := obsv.RegistryFrom(ctx)
 	results := make([]Result, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -832,14 +865,17 @@ func RunCtx(ctx context.Context, cfg Config, betas []*big.Int, seed string, wrap
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rng := fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", seed, p))
-			res, err := PartyCtx(runCtx, cfg, p, net, betas[p], rng)
-			if err != nil {
-				errs[p] = fmt.Errorf("party %d: %w", p, err)
-				cancel() // unblock every sibling promptly
-				return
-			}
-			results[p] = res
+			pctx := obsv.WithParty(runCtx, reg.Party(p))
+			obsv.Do(pctx, p, func(ctx context.Context) {
+				rng := fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", seed, p))
+				res, err := PartyCtx(ctx, cfg, p, net, betas[p], rng)
+				if err != nil {
+					errs[p] = fmt.Errorf("party %d: %w", p, err)
+					cancel() // unblock every sibling promptly
+					return
+				}
+				results[p] = res
+			})
 		}()
 	}
 	wg.Wait()

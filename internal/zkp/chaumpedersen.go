@@ -6,6 +6,7 @@ import (
 	"math/big"
 
 	"groupranking/internal/group"
+	"groupranking/internal/obsv"
 )
 
 // Chaum–Pedersen proof of discrete-logarithm equality: the prover shows
@@ -40,6 +41,7 @@ type EqualityStatement struct {
 // ProveEquality produces an accepting transcript for the statement
 // using secret x and an honest verifier's uniform challenge.
 func ProveEquality(g group.Group, x *big.Int, st EqualityStatement, rng io.Reader) (EqualityTranscript, error) {
+	obsv.PartyOf(g).Add(obsv.OpProofMade, 1)
 	r, err := g.RandomScalar(rng)
 	if err != nil {
 		return EqualityTranscript{}, fmt.Errorf("zkp: equality commit: %w", err)
@@ -62,6 +64,7 @@ func ProveEquality(g group.Group, x *big.Int, st EqualityStatement, rng io.Reade
 
 // VerifyEquality checks a transcript against the statement.
 func VerifyEquality(g group.Group, st EqualityStatement, t EqualityTranscript) bool {
+	obsv.PartyOf(g).Add(obsv.OpProofChecked, 1)
 	// g^s = a · y^c
 	if !g.Equal(group.ExpGen(g, t.Response), g.Op(t.CommitG, g.Exp(st.Y, t.Challenge))) {
 		return false

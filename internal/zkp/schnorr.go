@@ -15,6 +15,7 @@ import (
 	"math/big"
 
 	"groupranking/internal/group"
+	"groupranking/internal/obsv"
 )
 
 // Transcript records one complete proof interaction.
@@ -63,6 +64,7 @@ func (p *Prover) Respond(challenges []*big.Int) (*big.Int, error) {
 		return nil, fmt.Errorf("zkp: prover already responded")
 	}
 	p.responded = true
+	obsv.PartyOf(p.g).Add(obsv.OpProofMade, 1)
 	q := p.g.Order()
 	z := new(big.Int).Mul(p.x, sumMod(challenges, q))
 	z.Add(z, p.r)
@@ -81,6 +83,7 @@ func NewChallenge(g group.Group, rng io.Reader) (*big.Int, error) {
 // Verify checks g^z = h·y^(Σc_j) for public key y, commitment h,
 // challenge shares and response z.
 func Verify(g group.Group, y, h group.Element, challenges []*big.Int, z *big.Int) bool {
+	obsv.PartyOf(g).Add(obsv.OpProofChecked, 1)
 	lhs := group.ExpGen(g, z)
 	rhs := g.Op(h, g.Exp(y, sumMod(challenges, g.Order())))
 	return g.Equal(lhs, rhs)

@@ -11,6 +11,7 @@ import (
 
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/group"
+	"groupranking/internal/obsv"
 	"groupranking/internal/transport"
 	"groupranking/internal/unlinksort"
 )
@@ -28,6 +29,10 @@ type SortOptions struct {
 	// TCP mesh (default 2 minutes there). On expiry every party aborts
 	// with a typed *transport.AbortError instead of hanging.
 	Timeout time.Duration
+	// Observer, when non-nil, records per-party phase spans and crypto/
+	// communication counters. UnlinkableSort fills one party per value;
+	// UnlinkableSortParty fills only this party's slot.
+	Observer *Observer
 }
 
 // UnlinkableSort runs the paper's identity-unlinkable multiparty sorting
@@ -70,7 +75,7 @@ func UnlinkableSort(values []uint64, opts SortOptions) ([]int, error) {
 	for i, v := range values {
 		betas[i] = new(big.Int).SetUint64(v)
 	}
-	ctx := context.Background()
+	ctx := obsv.WithRegistry(context.Background(), opts.Observer)
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -118,6 +123,10 @@ func UnlinkableSortParty(addrs []string, me int, value uint64, opts SortOptions)
 	defer fab.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	if opts.Observer != nil {
+		ctx = obsv.WithRegistry(ctx, opts.Observer)
+		ctx = obsv.WithParty(ctx, opts.Observer.Party(me))
+	}
 	var rng io.Reader = rand.Reader
 	if opts.Seed != "" {
 		rng = fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", opts.Seed, me))
