@@ -7,9 +7,9 @@ GO ?= go
 # protocol party, fault-injection delays, TCP pumps, the lock-cheap
 # observability registry): these run under the race detector in short
 # mode as part of check.
-RACE_PKGS := ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/
+RACE_PKGS := ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/
 
-.PHONY: check vet build test race race-full chaos bench bench-json trace-demo clean
+.PHONY: check vet build test race race-full chaos bench bench-json bench-compare trace-demo clean
 
 check: vet build test race
 
@@ -41,6 +41,12 @@ bench:
 # instrumented real runs (same emitter as `benchtab -json`).
 bench-json:
 	BENCH_JSON=$(CURDIR)/BENCH_groupranking.json $(GO) test -run TestBenchSnapshot -count=1 .
+
+# Drift gate: re-run the snapshot configurations and fail if any
+# exponentiation or message count moved against the committed file.
+# Wall times are machine-dependent and deliberately not compared.
+bench-compare:
+	BENCH_COMPARE=$(CURDIR)/BENCH_groupranking.json $(GO) test -run TestBenchSnapshot -count=1 .
 
 # A 10-party run with the per-phase observability table and the JSONL
 # span trace on stderr — the quickest way to see the tracer end to end.

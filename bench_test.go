@@ -318,6 +318,15 @@ func TestBenchSnapshot(t *testing.T) {
 			t.Errorf("%s: SS sorter performed %d group exps, want 0", e.Name, e.ExpsPerParticipant)
 		}
 	}
+	if snap.Speedup == nil {
+		t.Fatal("snapshot is missing the parallel-kernel speedup entry")
+	}
+	if !snap.Speedup.RanksEqual {
+		t.Errorf("parallel run diverged from the serial reference: %+v", snap.Speedup)
+	}
+	if snap.Speedup.NsSerial <= 0 || snap.Speedup.NsParallel <= 0 || snap.Speedup.NumCPU < 1 {
+		t.Errorf("speedup entry has non-positive measurements: %+v", snap.Speedup)
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -331,6 +340,47 @@ func TestBenchSnapshot(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Logf("wrote %s", path)
+	}
+	// BENCH_COMPARE=<committed snapshot> turns this test into the drift
+	// gate `make bench-compare` runs: wall times move with the machine,
+	// but the operation and message counts are deterministic, so ANY
+	// drift against the committed file means the protocol's cost
+	// changed and the snapshot (plus the cost model) must be updated
+	// deliberately.
+	if path := os.Getenv("BENCH_COMPARE"); path != "" {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var committed benchtab.Snapshot
+		if err := json.Unmarshal(raw, &committed); err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		if committed.Schema != snap.Schema {
+			t.Fatalf("committed snapshot has schema %d, current is %d", committed.Schema, snap.Schema)
+		}
+		want := make(map[string]benchtab.SnapshotEntry, len(committed.Entries))
+		for _, e := range committed.Entries {
+			want[e.Name] = e
+		}
+		for _, e := range snap.Entries {
+			c, ok := want[e.Name]
+			if !ok {
+				t.Errorf("entry %q missing from the committed snapshot %s", e.Name, path)
+				continue
+			}
+			if e.ExpsPerParticipant != c.ExpsPerParticipant {
+				t.Errorf("%s: exps per participant drifted: committed %d, now %d",
+					e.Name, c.ExpsPerParticipant, e.ExpsPerParticipant)
+			}
+			if e.ExpsModel != c.ExpsModel {
+				t.Errorf("%s: model exps drifted: committed %d, now %d", e.Name, c.ExpsModel, e.ExpsModel)
+			}
+			if e.MsgsOnWire != c.MsgsOnWire {
+				t.Errorf("%s: messages on wire drifted: committed %d, now %d",
+					e.Name, c.MsgsOnWire, e.MsgsOnWire)
+			}
+		}
 	}
 }
 

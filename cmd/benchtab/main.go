@@ -38,6 +38,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	real := flag.Bool("real", false, "also run real protocols at small n as a cross-check")
 	jsonOut := flag.String("json", "", "write the machine-readable perf snapshot to this file (- for stdout) and exit")
+	workers := flag.Int("workers", 0, "goroutines per party for the real protocol runs (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -62,6 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	r.Workers = *workers
 	run := func(name string) {
 		if err := r.Emit(name, *real); err != nil {
 			log.Fatal(err)

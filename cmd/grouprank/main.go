@@ -62,6 +62,7 @@ func main() {
 		sorter    = flag.String("sorter", "unlinkable", "phase-2 protocol: unlinkable or secret-sharing")
 		seed      = flag.String("seed", "", "deterministic seed (empty = random)")
 		timeout   = flag.Duration("timeout", 0, "whole-run deadline (0 = none); expiry aborts cleanly")
+		workers   = flag.Int("workers", 0, "goroutines per party for crypto hot loops (0 = all CPUs, 1 = serial)")
 		traceFile = flag.String("trace", "", "write a JSONL span trace to this file (- for stderr); on abort the partial trace is still written")
 		metrics   = flag.Bool("metrics", false, "print the per-phase observability summary table after the run")
 
@@ -100,6 +101,7 @@ func main() {
 		D1:        *d1, D2: *d2, H: *h,
 		Seed:    *seed,
 		Timeout: *timeout,
+		Workers: *workers,
 	}
 	if *faultDrop > 0 || *faultDup > 0 || *faultReorder > 0 || *faultCorrupt > 0 ||
 		*faultDelay > 0 || *crashParty >= 0 {

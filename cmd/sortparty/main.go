@@ -41,6 +41,7 @@ func run() int {
 		groupName = flag.String("group", "secp160r1", "agreed DDH group")
 		seed      = flag.String("seed", "", "deterministic seed (testing only; empty = crypto/rand)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "protocol deadline and per-receive bound")
+		workers   = flag.Int("workers", 0, "goroutines for this party's crypto hot loops (0 = all CPUs, 1 = serial)")
 		traceFile = flag.String("trace", "", "write this party's JSONL span trace to this file (- for stderr); written even on abort")
 		metrics   = flag.Bool("metrics", false, "print this party's per-phase summary table to stderr")
 	)
@@ -90,6 +91,7 @@ func run() int {
 		Seed:      *seed,
 		Timeout:   *timeout,
 		Observer:  obs,
+		Workers:   *workers,
 	})
 	report()
 	if err != nil {

@@ -132,6 +132,11 @@ type Options struct {
 	// parties 1..n the participants). On abort the partially filled
 	// Observer still holds every span up to the failure.
 	Observer *Observer
+	// Workers bounds the goroutines each party's crypto hot loops fan
+	// out on: 0 uses every CPU, 1 forces the serial reference path.
+	// Randomness is drawn serially regardless, so rankings, transcripts
+	// and operation counts are identical at every setting.
+	Workers int
 }
 
 // FaultPlan describes a deterministic fault-injection schedule; see
@@ -217,7 +222,7 @@ func Rank(q *Questionnaire, criterion Criterion, profiles []Profile, opts Option
 		N: len(profiles), M: q.M(), T: q.T(),
 		D1: o.D1, D2: o.D2, H: o.H, K: o.K,
 		Group: g, Sorter: o.Sorter, SkipProofs: o.SkipProofs,
-		ProveDecryption: o.ProveDecryption,
+		ProveDecryption: o.ProveDecryption, Workers: o.Workers,
 	}
 	ctx := obsv.WithRegistry(context.Background(), o.Observer)
 	if o.Timeout > 0 {

@@ -26,6 +26,11 @@ type Runner struct {
 	w  io.Writer
 	tm *costmodel.Timings
 
+	// Workers bounds the goroutines the real cross-check runs fan out
+	// on per party (0 = NumCPU, 1 = serial); the model columns are
+	// unaffected.
+	Workers int
+
 	ecc160, ecc224, ecc256 group.Group
 	dl1024, dl2048, dl3072 group.Group
 }
@@ -42,7 +47,11 @@ func New(w io.Writer) (*Runner, error) {
 		dl3072: group.MODP3072(),
 	}
 	groups := []group.Group{r.ecc160, r.ecc224, r.ecc256, r.dl1024, r.dl2048, r.dl3072}
-	tm, err := costmodel.MeasureGroups(groups, 7)
+	// 25 samples per group: the min-of-N estimator only needs ONE
+	// uninterrupted sample, but when the whole test suite runs in
+	// parallel on a small machine, 7 samples were occasionally all
+	// polluted by the scheduler and flipped the ECC-vs-DL ordering.
+	tm, err := costmodel.MeasureGroups(groups, 25)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +288,7 @@ func (r *Runner) realCrossCheck() error {
 	for _, n := range []int{3, 4, 5} {
 		params := core.Params{
 			N: n, M: 4, T: 2, D1: 8, D2: 5, H: 8, K: 2,
-			Group: r.ecc160,
+			Group: r.ecc160, Workers: r.Workers,
 		}
 		q, err := workload.Uniform(params.M, params.T)
 		if err != nil {

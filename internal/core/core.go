@@ -86,6 +86,10 @@ type Params struct {
 	// Kappa is the statistical parameter of the SS comparison
 	// (default 40).
 	Kappa int
+	// Workers bounds the goroutines each party's crypto hot loops fan
+	// out on (0 = NumCPU, 1 = serial). Results are bit-identical at
+	// every worker count: randomness is always drawn serially.
+	Workers int
 }
 
 // Validate checks parameter consistency.
@@ -242,6 +246,7 @@ func RunInitiatorCtx(ctx context.Context, params Params, q *workload.Questionnai
 	}
 	dp := dotprod.DefaultSRange(prime)
 	dp.Obs = obs
+	dp.Workers = params.Workers
 
 	obs.Begin(PhaseGain)
 	// Step 1: pick the h-bit masking factor ρ ≥ 1 (top bit set so every
@@ -389,6 +394,7 @@ func RunParticipantCtx(ctx context.Context, params Params, j int, q *workload.Qu
 	}
 	dp := dotprod.DefaultSRange(prime)
 	dp.Obs = obs
+	dp.Workers = params.Workers
 	l := params.BetaBits()
 
 	// Phase 1: dot product with the initiator, recover β.
@@ -439,6 +445,7 @@ func RunParticipantCtx(ctx context.Context, params Params, j int, q *workload.Qu
 			L:               l,
 			SkipProofs:      params.SkipProofs,
 			ProveDecryption: params.ProveDecryption,
+			Workers:         params.Workers,
 		}, j-1, sub, betaU, rng)
 		if err != nil {
 			return out, err
@@ -478,10 +485,11 @@ func ssBaselineRank(ctx context.Context, params Params, me int, net transport.Ne
 		return 0, err
 	}
 	cfg := ssmpc.Config{
-		N:      params.N,
-		Degree: (params.N - 1) / 2, // the baseline's maximum resistance
-		P:      prime,
-		Kappa:  params.Kappa,
+		N:       params.N,
+		Degree:  (params.N - 1) / 2, // the baseline's maximum resistance
+		P:       prime,
+		Kappa:   params.Kappa,
+		Workers: params.Workers,
 	}
 	eng, err := ssmpc.NewEngineCtx(ctx, cfg, me, net, rng)
 	if err != nil {

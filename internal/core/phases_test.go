@@ -17,6 +17,10 @@ func TestEveryPhaseObserved(t *testing.T) {
 		t.Helper()
 		params := smallParams(t, 4)
 		params.Sorter = sorter // proofs stay enabled: key-proof must show up
+		// Multi-worker pools must not lose spans: every exponentiation a
+		// kernel goroutine performs is still charged to the party's
+		// current phase, because the span is opened before the fan-out.
+		params.Workers = 3
 		in := testInputs(t, params, "phase-guard")
 		reg := obsv.NewRegistry()
 		ctx := obsv.WithRegistry(context.Background(), reg)

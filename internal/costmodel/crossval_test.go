@@ -45,16 +45,34 @@ func TestCrossValidation(t *testing.T) {
 		for _, cfg := range crossValConfigs {
 			cfg := cfg
 			t.Run(fmt.Sprintf("%s/n=%d,m=%d", g.Name(), cfg.n, cfg.m), func(t *testing.T) {
-				crossValidate(t, g, cfg.n, cfg.m, cfg.d1, cfg.d2, cfg.h)
+				crossValidate(t, g, cfg.n, cfg.m, cfg.d1, cfg.d2, cfg.h, 1)
 			})
 		}
 	}
 }
 
-func crossValidate(t *testing.T, g group.Group, n, m, d1, d2, h int) {
+// TestCrossValidationParallelWorkers re-runs one configuration per
+// group with a multi-goroutine worker pool: the fixed-base
+// precomputation and the parallel kernels must not change a single
+// exponentiation or message count, so the exact-match assertions below
+// hold unchanged.
+func TestCrossValidationParallelWorkers(t *testing.T) {
+	toy, err := group.ByName("toy-dl-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []group.Group{toy, group.Secp160r1()} {
+		cfg := crossValConfigs[0]
+		t.Run(g.Name(), func(t *testing.T) {
+			crossValidate(t, g, cfg.n, cfg.m, cfg.d1, cfg.d2, cfg.h, 4)
+		})
+	}
+}
+
+func crossValidate(t *testing.T, g group.Group, n, m, d1, d2, h, workers int) {
 	params := core.Params{
 		N: n, M: m, T: m / 2, D1: d1, D2: d2, H: h, K: 3,
-		Group: g,
+		Group: g, Workers: workers,
 	}
 	in := crossValInputs(t, params, "crossval-"+g.Name())
 	reg := obsv.NewRegistry()

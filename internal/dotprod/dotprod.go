@@ -15,11 +15,13 @@
 package dotprod
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
 
 	"groupranking/internal/fixedbig"
+	"groupranking/internal/kernel"
 	"groupranking/internal/obsv"
 )
 
@@ -34,6 +36,10 @@ type Params struct {
 	// Obs, when non-nil, receives the field-multiplication counts of
 	// this party's side of the protocol.
 	Obs *obsv.Party
+	// Workers bounds the goroutines the matrix arithmetic fans out on
+	// (0 = NumCPU, 1 = serial). Randomness is always drawn serially, so
+	// every worker count produces identical flows.
+	Workers int
 }
 
 // DefaultSRange returns params with the default s range over field P.
@@ -202,9 +208,10 @@ func NewBob(params Params, w []*big.Int, rng io.Reader) (*Bob, *BobMessage, erro
 		g[j].Mod(g[j], P)
 	}
 
-	// QX: s×d product.
+	// QX: s×d product. All randomness is drawn by now, so the rows fan
+	// out across workers; each row only reads q and x.
 	qx := make([][]*big.Int, s)
-	for i := 0; i < s; i++ {
+	_ = kernel.Map(context.Background(), params.Workers, s, func(i int) error {
 		qx[i] = make([]*big.Int, d)
 		for j := 0; j < d; j++ {
 			acc := new(big.Int)
@@ -213,7 +220,8 @@ func NewBob(params Params, w []*big.Int, rng io.Reader) (*Bob, *BobMessage, erro
 			}
 			qx[i][j] = acc.Mod(acc, P)
 		}
-	}
+		return nil
+	})
 
 	// Multiplication census of the flows above: the c accumulation
 	// ((s−1)·d), the two mask products, the c'/g masking (2d) and the
@@ -248,12 +256,20 @@ func AliceRespond(params Params, msg *BobMessage, v []*big.Int, alpha *big.Int) 
 	}
 	vPrime[d-1] = new(big.Int).Mod(alpha, P)
 
-	// z = Σ_i (QX·v')_i.
-	z := new(big.Int)
-	for i := 0; i < s; i++ {
+	// z = Σ_i (QX·v')_i: per-row partial sums in parallel, combined
+	// serially in row order so the result is worker-count independent.
+	rows := make([]*big.Int, s)
+	_ = kernel.Map(context.Background(), params.Workers, s, func(i int) error {
+		acc := new(big.Int)
 		for j := 0; j < d; j++ {
-			z.Add(z, new(big.Int).Mul(msg.QX[i][j], vPrime[j]))
+			acc.Add(acc, new(big.Int).Mul(msg.QX[i][j], vPrime[j]))
 		}
+		rows[i] = acc
+		return nil
+	})
+	z := new(big.Int)
+	for _, row := range rows {
+		z.Add(z, row)
 	}
 	z.Mod(z, P)
 

@@ -33,6 +33,10 @@ type KeyPair struct {
 // Scheme binds the cryptosystem to a concrete group.
 type Scheme struct {
 	g group.Group
+	// pkTab is an optional fixed-base table for one distinguished public
+	// key (the joint key y in the unlinkable sort, fixed for a whole
+	// run). See WithPrecomp.
+	pkTab *group.FixedBaseTable
 }
 
 // NewScheme returns an ElGamal scheme over g.
@@ -40,6 +44,30 @@ func NewScheme(g group.Group) *Scheme { return &Scheme{g: g} }
 
 // Group exposes the underlying group.
 func (s *Scheme) Group() group.Group { return s.g }
+
+// WithPrecomp returns a scheme that evaluates pk^r through a fixed-base
+// comb table whenever an encryption or re-randomisation uses exactly
+// this public key. The protocol's joint key y masks every one of the
+// O(l·n²) ciphertexts a run produces, so one table build (a few hundred
+// group operations) amortises immediately. Other public keys fall back
+// to the plain exponentiation path, and the observability census is
+// unchanged: a table hit charges the same single OpGroupExp the Exp
+// call it replaces would have.
+func (s *Scheme) WithPrecomp(pk group.Element) *Scheme {
+	return &Scheme{g: s.g, pkTab: group.NewFixedBaseTable(s.g, pk)}
+}
+
+// expPK computes pk^r, through the precomputed table when it was built
+// for this pk.
+func (s *Scheme) expPK(pk group.Element, r *big.Int) group.Element {
+	if s.pkTab != nil && s.g.Equal(s.pkTab.Base(), pk) {
+		// The table evaluates on the raw group; charge the one
+		// exponentiation the counting wrapper would have recorded.
+		obsv.PartyOf(s.g).Add(obsv.OpGroupExp, 1)
+		return s.pkTab.Exp(r)
+	}
+	return s.g.Exp(pk, r)
+}
 
 // GenerateKey samples a fresh key pair.
 func (s *Scheme) GenerateKey(rng io.Reader) (*KeyPair, error) {
@@ -62,15 +90,23 @@ func (s *Scheme) JointPublicKey(shares []group.Element) group.Element {
 
 // Encrypt is standard ElGamal encryption of a group element M.
 func (s *Scheme) Encrypt(pk group.Element, m group.Element, rng io.Reader) (Ciphertext, error) {
-	obsv.PartyOf(s.g).Add(obsv.OpEncrypt, 1)
 	r, err := s.g.RandomScalar(rng)
 	if err != nil {
 		return Ciphertext{}, fmt.Errorf("elgamal: encrypting: %w", err)
 	}
+	return s.EncryptR(pk, m, r), nil
+}
+
+// EncryptR encrypts with caller-supplied randomness r. The parallel
+// kernels pre-draw every scalar serially (preserving the deterministic
+// DRBG draw order the test suite pins down) and then fan the pure
+// arithmetic out across workers through this entry point.
+func (s *Scheme) EncryptR(pk group.Element, m group.Element, r *big.Int) Ciphertext {
+	obsv.PartyOf(s.g).Add(obsv.OpEncrypt, 1)
 	return Ciphertext{
-		C:  s.g.Op(m, s.g.Exp(pk, r)),
+		C:  s.g.Op(m, s.expPK(pk, r)),
 		C1: group.ExpGen(s.g, r),
-	}, nil
+	}
 }
 
 // Decrypt is standard ElGamal decryption: M = C / C1^x.
@@ -104,6 +140,11 @@ func (s *Scheme) EncryptExp(pk group.Element, m *big.Int, rng io.Reader) (Cipher
 	return s.Encrypt(pk, s.encodeExp(m), rng)
 }
 
+// EncryptExpR is EncryptExp with caller-supplied randomness.
+func (s *Scheme) EncryptExpR(pk group.Element, m, r *big.Int) Ciphertext {
+	return s.EncryptR(pk, s.encodeExp(m), r)
+}
+
 // Add homomorphically adds the plaintext exponents of two ciphertexts.
 func (s *Scheme) Add(a, b Ciphertext) Ciphertext {
 	return Ciphertext{C: s.g.Op(a.C, b.C), C1: s.g.Op(a.C1, b.C1)}
@@ -135,11 +176,16 @@ func (s *Scheme) AddPlain(a Ciphertext, m *big.Int) Ciphertext {
 // ReRandomize refreshes the randomness of a ciphertext under pk by adding
 // an encryption of zero, making the result unlinkable to the input.
 func (s *Scheme) ReRandomize(pk group.Element, a Ciphertext, rng io.Reader) (Ciphertext, error) {
-	zero, err := s.EncryptExp(pk, big.NewInt(0), rng)
+	r, err := s.g.RandomScalar(rng)
 	if err != nil {
-		return Ciphertext{}, err
+		return Ciphertext{}, fmt.Errorf("elgamal: re-randomising: %w", err)
 	}
-	return s.Add(a, zero), nil
+	return s.ReRandomizeR(pk, a, r), nil
+}
+
+// ReRandomizeR is ReRandomize with caller-supplied randomness.
+func (s *Scheme) ReRandomizeR(pk group.Element, a Ciphertext, r *big.Int) Ciphertext {
+	return s.Add(a, s.EncryptExpR(pk, big.NewInt(0), r))
 }
 
 // ExponentBlind raises both components to a random non-zero power:
@@ -152,7 +198,13 @@ func (s *Scheme) ExponentBlind(a Ciphertext, rng io.Reader) (Ciphertext, error) 
 	if err != nil {
 		return Ciphertext{}, fmt.Errorf("elgamal: blinding: %w", err)
 	}
-	return s.ScalarMul(a, r), nil
+	return s.ExponentBlindR(a, r), nil
+}
+
+// ExponentBlindR is ExponentBlind with a caller-supplied blinding
+// scalar.
+func (s *Scheme) ExponentBlindR(a Ciphertext, r *big.Int) Ciphertext {
+	return s.ScalarMul(a, r)
 }
 
 // PartialDecrypt strips one key layer: C → C / C1^x. After every holder
@@ -213,6 +265,13 @@ func (s *Scheme) Encode(a Ciphertext) []byte {
 func padTo(b []byte, n int) []byte {
 	if len(b) == n {
 		return b
+	}
+	if len(b) > n {
+		// Slicing out[n-len(b):] below would panic with an opaque
+		// negative index; every Group now encodes at exactly
+		// ElementLen, so an oversized encoding is a broken Group
+		// implementation and deserves a descriptive report.
+		panic(fmt.Sprintf("elgamal: element encoding is %d bytes, exceeds ElementLen %d", len(b), n))
 	}
 	out := make([]byte, n)
 	copy(out[n-len(b):], b)

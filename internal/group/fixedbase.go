@@ -1,0 +1,253 @@
+package group
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Fixed-base precomputation: a windowed table for a base that never
+// changes within a run. The two such bases in the protocol are the
+// group generator g (every ExpGen: key generation, bitwise encryption
+// C1 components, proof commitments, exponent encodings) and the joint
+// public key y (the y^r mask of every encryption and re-randomisation).
+// A radix-2^w table stores base^(d·2^(i·w)) for every window i and
+// digit d, turning one exponentiation into at most ⌈l/w⌉ group
+// operations with no doublings at all — the classic fixed-base comb.
+//
+// Counting contract: tables are built and evaluated on the RAW group
+// (see Raw), never through the obsv counting wrapper, so a table lookup
+// performs zero counted operations by itself. Callers that substitute a
+// table evaluation for a Group.Exp call are responsible for keeping the
+// observability census identical — either the call still flows through
+// the wrapper's Exp (the per-group generator fast path below Exp's
+// counting layer), or the caller charges one OpGroupExp manually
+// (elgamal.Scheme.WithPrecomp). This is what keeps the cost model's
+// closed forms exact under precomputation.
+
+// Unwrapper is implemented by instrumentation wrappers (obsv's counting
+// group) that decorate a Group while delegating its arithmetic.
+type Unwrapper interface {
+	// Underlying returns the wrapped group.
+	Underlying() Group
+}
+
+// Raw strips every instrumentation wrapper and returns the concrete
+// group. Table internals must use it: arithmetic performed while
+// building or evaluating a precomputed table is not a protocol
+// operation and must not be charged to any party.
+func Raw(g Group) Group {
+	for {
+		u, ok := g.(Unwrapper)
+		if !ok {
+			return g
+		}
+		g = u.Underlying()
+	}
+}
+
+// Window widths. EC combs accumulate in Jacobian coordinates where a
+// lookup-add costs ~12 field multiplications, so a narrow window keeps
+// the table small at no real cost; DL combs pay a full big.Int modular
+// multiplication per window, so a wider window amortises better against
+// math/big's Montgomery exponentiation.
+const (
+	ecCombWindow = 5
+	dlCombWindow = 6
+)
+
+// FixedBaseTable is a precomputed fixed-base exponentiation table. It
+// is safe for concurrent use once built (all state is read-only after
+// construction).
+type FixedBaseTable struct {
+	g    Group // raw group, for Equal/Identity and order reduction
+	base Element
+	eval func(e *big.Int) Element // e already reduced mod order, e > 0
+}
+
+// NewFixedBaseTable precomputes powers of base in g. The group may be
+// wrapped (obsv counting); the table always operates on the raw group.
+func NewFixedBaseTable(g Group, base Element) *FixedBaseTable {
+	raw := Raw(g)
+	t := &FixedBaseTable{g: raw, base: base}
+	switch cg := raw.(type) {
+	case *DLGroup:
+		t.eval = newDLComb(cg, base, dlCombWindow)
+	case fastSecp160:
+		t.eval = newFe160Comb(cg.ECGroup, base, ecCombWindow)
+	case *ECGroup:
+		t.eval = newECComb(cg, base, ecCombWindow)
+	default:
+		t.eval = newOpComb(raw, base, ecCombWindow)
+	}
+	return t
+}
+
+// Base returns the element the table was built for.
+func (t *FixedBaseTable) Base() Element { return t.base }
+
+// Exp returns base^k. Negative and over-order exponents are reduced
+// exactly as Group.Exp does.
+func (t *FixedBaseTable) Exp(k *big.Int) Element {
+	e := new(big.Int).Mod(k, t.g.Order())
+	if e.Sign() == 0 {
+		return t.g.Identity()
+	}
+	return t.eval(e)
+}
+
+// combDigits splits e (already reduced, positive) into base-2^w digits,
+// little-endian.
+func combDigits(e *big.Int, w uint) []uint {
+	bits := e.BitLen()
+	digits := make([]uint, (bits+int(w)-1)/int(w))
+	for i := range digits {
+		var d uint
+		for b := 0; b < int(w); b++ {
+			d |= e.Bit(i*int(w)+b) << b
+		}
+		digits[i] = d
+	}
+	return digits
+}
+
+// newDLComb builds windows[i][d-1] = base^(d·2^(i·w)) as residues.
+func newDLComb(g *DLGroup, base Element, w uint) func(*big.Int) Element {
+	b := new(big.Int).Set(g.unwrap(base))
+	nWin := (g.q.BitLen() + int(w) - 1) / int(w)
+	size := (1 << w) - 1
+	windows := make([][]*big.Int, nWin)
+	for i := 0; i < nWin; i++ {
+		windows[i] = make([]*big.Int, size)
+		windows[i][0] = new(big.Int).Set(b)
+		for d := 1; d < size; d++ {
+			v := new(big.Int).Mul(windows[i][d-1], b)
+			windows[i][d] = v.Mod(v, g.p)
+		}
+		// Next window's base is b^(2^w).
+		b = new(big.Int).Mul(windows[i][size-1], b)
+		b.Mod(b, g.p)
+	}
+	return func(e *big.Int) Element {
+		acc := big.NewInt(1)
+		for i, d := range combDigits(e, w) {
+			if d == 0 {
+				continue
+			}
+			acc.Mul(acc, windows[i][d-1])
+			acc.Mod(acc, g.p)
+		}
+		return dlElement{v: acc}
+	}
+}
+
+// newECComb builds Jacobian windows for the generic curve group. Table
+// entries stay in Jacobian coordinates (jacAdd handles arbitrary Z), so
+// neither construction nor evaluation needs a field inversion until the
+// single final affine projection.
+func newECComb(g *ECGroup, base Element, w uint) func(*big.Int) Element {
+	b := g.toJac(g.unwrap(base))
+	nWin := (g.n.BitLen() + int(w) - 1) / int(w)
+	size := (1 << w) - 1
+	windows := make([][]jacPoint, nWin)
+	for i := 0; i < nWin; i++ {
+		windows[i] = make([]jacPoint, size)
+		windows[i][0] = b
+		for d := 1; d < size; d++ {
+			windows[i][d] = g.jacAdd(windows[i][d-1], b)
+		}
+		b = g.jacAdd(windows[i][size-1], b)
+	}
+	return func(e *big.Int) Element {
+		acc := jacPoint{x: big.NewInt(1), y: big.NewInt(1), z: new(big.Int)}
+		for i, d := range combDigits(e, w) {
+			if d != 0 {
+				acc = g.jacAdd(acc, windows[i][d-1])
+			}
+		}
+		return g.toAffine(acc)
+	}
+}
+
+// newFe160Comb is the comb over the dedicated secp160r1 limb field.
+func newFe160Comb(g *ECGroup, base Element, w uint) func(*big.Int) Element {
+	pt := g.unwrap(base)
+	if pt.inf {
+		// A table for the identity is degenerate; fall back to the
+		// generic path (identity^k is the identity anyway).
+		return func(*big.Int) Element { return ecPoint{inf: true} }
+	}
+	b := jac160{x: fe160FromBig(pt.x), y: fe160FromBig(pt.y), z: fe160{1, 0, 0}}
+	nWin := (g.n.BitLen() + int(w) - 1) / int(w)
+	size := (1 << w) - 1
+	windows := make([][]jac160, nWin)
+	for i := 0; i < nWin; i++ {
+		windows[i] = make([]jac160, size)
+		windows[i][0] = b
+		for d := 1; d < size; d++ {
+			windows[i][d] = add160(windows[i][d-1], b)
+		}
+		b = add160(windows[i][size-1], b)
+	}
+	return func(e *big.Int) Element {
+		var acc jac160
+		for i, d := range combDigits(e, w) {
+			if d != 0 {
+				acc = add160(acc, windows[i][d-1])
+			}
+		}
+		if acc.z.isZero() {
+			return ecPoint{inf: true}
+		}
+		zInv := fe160Inv(acc.z)
+		zInv2 := fe160Sqr(zInv)
+		x := fe160Mul(acc.x, zInv2)
+		y := fe160Mul(acc.y, fe160Mul(zInv2, zInv))
+		return ecPoint{x: x.big(), y: y.big()}
+	}
+}
+
+// newOpComb is the family-agnostic fallback over Group.Op, used only
+// for group implementations without a native comb.
+func newOpComb(g Group, base Element, w uint) func(*big.Int) Element {
+	b := base
+	nWin := (g.Order().BitLen() + int(w) - 1) / int(w)
+	size := (1 << w) - 1
+	windows := make([][]Element, nWin)
+	for i := 0; i < nWin; i++ {
+		windows[i] = make([]Element, size)
+		windows[i][0] = b
+		for d := 1; d < size; d++ {
+			windows[i][d] = g.Op(windows[i][d-1], b)
+		}
+		b = g.Op(windows[i][size-1], b)
+	}
+	return func(e *big.Int) Element {
+		acc := g.Identity()
+		for i, d := range combDigits(e, w) {
+			if d != 0 {
+				acc = g.Op(acc, windows[i][d-1])
+			}
+		}
+		return acc
+	}
+}
+
+// genTables caches one generator table per concrete group value, so
+// every ExpGen — and any Exp whose base turns out to be the generator —
+// hits the comb. The named groups are process-wide singletons
+// (curveGroups, the MODP vars, ToyDL256), so each table is built exactly
+// once per process. The fast secp160r1 wrapper keys separately from the
+// generic group it embeds: same curve, different comb backend.
+var genTables sync.Map // map[Group]*FixedBaseTable
+
+// generatorTable returns the cached fixed-base table for g's generator,
+// building it on first use. Concrete groups (pointer or small struct)
+// are comparable, which is all sync.Map needs.
+func generatorTable(g Group) *FixedBaseTable {
+	raw := Raw(g)
+	if t, ok := genTables.Load(raw); ok {
+		return t.(*FixedBaseTable)
+	}
+	t, _ := genTables.LoadOrStore(raw, NewFixedBaseTable(raw, raw.Generator()))
+	return t.(*FixedBaseTable)
+}

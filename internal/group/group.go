@@ -48,13 +48,14 @@ type Group interface {
 	Equal(a, b Element) bool
 	// IsIdentity reports whether a is the neutral element.
 	IsIdentity(a Element) bool
-	// Encode serialises an element into a fixed-length byte string
-	// (except the identity, which may use a short encoding).
+	// Encode serialises an element into exactly ElementLen bytes.
+	// Every element, the identity included, has one fixed-width
+	// canonical encoding.
 	Encode(a Element) []byte
 	// Decode parses an encoded element, verifying group membership.
 	Decode(data []byte) (Element, error)
-	// ElementLen is the encoded length in bytes of a non-identity element;
-	// it is the ciphertext-size unit used by the communication cost model.
+	// ElementLen is the encoded length in bytes of every element; it is
+	// the ciphertext-size unit used by the communication cost model.
 	ElementLen() int
 	// RandomScalar returns a uniform scalar in [1, q).
 	RandomScalar(rng io.Reader) (*big.Int, error)

@@ -248,6 +248,11 @@ type fastSecp160 struct {
 // Exp implements Group with the fast field.
 func (f fastSecp160) Exp(a Element, k *big.Int) Element {
 	pt := f.ECGroup.unwrap(a)
+	if !pt.inf && pt.x.Cmp(f.ECGroup.gx) == 0 && pt.y.Cmp(f.ECGroup.gy) == 0 {
+		// Fixed-base fast path: the cached comb lives in the limb
+		// field, keyed separately from the generic group's table.
+		return generatorTable(f).Exp(k)
+	}
 	e := new(big.Int).Mod(k, f.ECGroup.n)
 	if pt.inf || e.Sign() == 0 {
 		return ecPoint{inf: true}

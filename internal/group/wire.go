@@ -9,9 +9,11 @@ import (
 
 // Gob support so group elements can cross process boundaries inside
 // protocol messages (the TCP transport gob-encodes payloads carrying
-// Element interface values). Elements encode as raw coordinates; the
-// receiving side revalidates group membership at the protocol layer
-// where the group is known.
+// Element interface values). Elements encode as raw coordinates. Gob
+// decoding has no group context, so it can only enforce structural
+// sanity (non-negative, bounded coordinates); full membership — curve
+// equation, residue class — is checked by group.Validate, which the
+// protocol layer calls on every element received from a peer.
 
 // GobEncode implements gob.GobEncoder.
 func (e dlElement) GobEncode() ([]byte, error) {
@@ -21,7 +23,13 @@ func (e dlElement) GobEncode() ([]byte, error) {
 // GobDecode implements gob.GobDecoder.
 func (e *dlElement) GobDecode(data []byte) error {
 	e.v = new(big.Int)
-	return e.v.GobDecode(data)
+	if err := e.v.GobDecode(data); err != nil {
+		return err
+	}
+	if e.v.Sign() <= 0 {
+		return fmt.Errorf("group: residue out of range")
+	}
+	return nil
 }
 
 // GobEncode implements gob.GobEncoder.
@@ -61,7 +69,20 @@ func (p *ecPoint) GobDecode(data []byte) error {
 		return err
 	}
 	p.y = new(big.Int)
-	return p.y.GobDecode(data[3+xLen:])
+	if err := p.y.GobDecode(data[3+xLen:]); err != nil {
+		return err
+	}
+	// Structural sanity only — a hostile encoder controls these bytes.
+	// Negative coordinates would silently flow into math/big modular
+	// arithmetic; an absurd bit length is a memory-pressure vector.
+	// On-curve membership is the protocol layer's job (group.Validate).
+	if p.x.Sign() < 0 || p.y.Sign() < 0 {
+		return fmt.Errorf("group: negative point coordinate")
+	}
+	if p.x.BitLen() > 8192 || p.y.BitLen() > 8192 {
+		return fmt.Errorf("group: oversized point coordinate")
+	}
+	return nil
 }
 
 var _gobOnce sync.Once

@@ -1,0 +1,116 @@
+// Package kernel provides the bounded worker pool the protocol's hot
+// crypto loops fan out on: per-bit encryption of β_i, the per-peer τ
+// circuit construction, the decrypt-blind-shuffle chain over n·l
+// ciphertexts, secret-sharing recombination batches and the dot-product
+// kernels.
+//
+// Design constraints, in order:
+//
+//  1. Determinism. A run with the same seed must produce bit-identical
+//     results at any worker count. Callers therefore pre-draw all
+//     randomness serially and hand the pool pure arithmetic; the pool
+//     itself guarantees output slot i always holds the result of input
+//     i, regardless of which worker computed it.
+//  2. Abort-runtime compatibility. Cancellation of the party context
+//     stops workers promptly, and the first error by INDEX order (not
+//     wall-clock order) wins, so the typed abort a failing run surfaces
+//     does not depend on goroutine scheduling.
+//  3. Boundedness. At most Workers goroutines run, with work handed out
+//     by an atomic counter — no per-item goroutine, no channel per item.
+package kernel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: 0 selects NumCPU (the "use
+// the hardware" default), any other non-positive value or 1 is serial,
+// and values above n are clamped by Map itself (claiming is atomic, so
+// surplus workers just exit).
+func Workers(w int) int {
+	if w == 0 {
+		return runtime.NumCPU()
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// Map runs f(0), …, f(n−1) on at most Workers(workers) goroutines and
+// returns the first error in index order, or ctx's error if the context
+// was cancelled before all items completed. With an effective worker
+// count of one (or n ≤ 1) it degenerates to a plain serial loop on the
+// calling goroutine — zero overhead and no scheduling nondeterminism,
+// which keeps the workers=1 path byte-for-byte the reference execution.
+//
+// f writes its result into caller-owned slot i; distinct indices touch
+// distinct slots, so no synchronisation is needed beyond Map's own
+// completion barrier.
+func Map(ctx context.Context, workers, n int, f func(i int) error) error {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64 // next unclaimed index
+		failed atomic.Bool  // fast-path stop flag once any error exists
+		mu     sync.Mutex
+		errAt  = -1 // lowest failing index seen
+		firstE error
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errAt == -1 || i < errAt {
+			errAt, firstE = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	done := ctx.Done()
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return firstE
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapComputesAllSlots(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16, 0} {
+		out := make([]int, 100)
+		err := Map(context.Background(), w, len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	boom := func(i int) error {
+		if i >= 3 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		return nil
+	}
+	for _, w := range []int{1, 2, 8, 64} {
+		err := Map(context.Background(), w, 50, boom)
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("workers=%d: got %v, want item 3's error", w, err)
+		}
+	}
+}
+
+func TestMapStopsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	sentinel := errors.New("stop")
+	err := Map(context.Background(), 4, 10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("%d items ran after an early error; pool did not stop claiming", n)
+	}
+}
+
+func TestMapHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Map(ctx, 4, 10_000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 1_000 {
+		t.Fatalf("%d items ran after cancellation", n)
+	}
+}
+
+func TestMapSerialFastPathChecksContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Map(ctx, 1, 5, func(i int) error {
+		t.Fatal("item ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	for _, w := range []int{-3, 1} {
+		if got := Workers(w); got != 1 {
+			t.Fatalf("Workers(%d) = %d, want 1", w, got)
+		}
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", got)
+	}
+}

@@ -44,6 +44,11 @@ func PartyOf(g group.Group) *Party {
 	return nil
 }
 
+// Underlying implements group.Unwrapper, so group.Raw can reach the
+// concrete group: fixed-base tables must build and evaluate on raw
+// arithmetic, not through the counters.
+func (c countingGroup) Underlying() group.Group { return c.Group }
+
 func (c countingGroup) Exp(a group.Element, k *big.Int) group.Element {
 	c.party.Add(OpGroupExp, 1)
 	return c.Group.Exp(a, k)

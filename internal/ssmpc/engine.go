@@ -17,6 +17,7 @@ import (
 	"io"
 	"math/big"
 
+	"groupranking/internal/kernel"
 	"groupranking/internal/obsv"
 	"groupranking/internal/shamir"
 	"groupranking/internal/transport"
@@ -35,6 +36,10 @@ type Config struct {
 	P *big.Int
 	// Kappa is the statistical hiding parameter (default 40).
 	Kappa int
+	// Workers bounds the goroutines batched recombinations fan out on
+	// (0 = NumCPU, 1 = serial). Sharing stays serial — it consumes the
+	// party RNG — so results are identical at every worker count.
+	Workers int
 }
 
 func (c Config) validate() error {
@@ -220,25 +225,41 @@ func (e *Engine) OpenBatch(shares []Share) ([]*big.Int, error) {
 	if err != nil {
 		return nil, err
 	}
+	cols, err := e.columns(all, mine, len(shares), "open")
+	if err != nil {
+		return nil, err
+	}
 	out := make([]*big.Int, len(shares))
-	for k := range shares {
+	if err := kernel.Map(e.ctx, e.cfg.Workers, len(shares), func(k int) error {
 		acc := new(big.Int)
 		for j := 0; j < e.cfg.N; j++ {
-			var yj *big.Int
-			if j == e.me {
-				yj = mine[k]
-			} else {
-				ys, ok := all[j].([]*big.Int)
-				if !ok || len(ys) != len(shares) {
-					return nil, fmt.Errorf("ssmpc: malformed open batch from party %d", j)
-				}
-				yj = ys[k]
-			}
-			acc.Add(acc, new(big.Int).Mul(e.lambda[j], yj))
+			acc.Add(acc, new(big.Int).Mul(e.lambda[j], cols[j][k]))
 		}
 		out[k] = acc.Mod(acc, e.cfg.P)
+		return nil
+	}); err != nil {
+		return nil, transport.AnnotatePhase(err, "ssmpc")
 	}
 	return out, nil
+}
+
+// columns validates one gathered batch per party and returns it indexed
+// by party, with this party's own slice in place — the layout the
+// parallel Lagrange recombinations read.
+func (e *Engine) columns(all []any, mine []*big.Int, k int, kind string) ([][]*big.Int, error) {
+	cols := make([][]*big.Int, e.cfg.N)
+	for j := 0; j < e.cfg.N; j++ {
+		if j == e.me {
+			cols[j] = mine
+			continue
+		}
+		ys, ok := all[j].([]*big.Int)
+		if !ok || len(ys) != k {
+			return nil, fmt.Errorf("ssmpc: malformed %s batch from party %d", kind, j)
+		}
+		cols[j] = ys
+	}
+	return cols, nil
 }
 
 // Open reveals one shared value.
@@ -323,23 +344,20 @@ func (e *Engine) MulBatch(as, bs []Share) ([]Share, error) {
 	if err != nil {
 		return nil, err
 	}
+	cols, err := e.columns(all, perParty[e.me], k, "mul")
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Share, k)
-	for i := 0; i < k; i++ {
+	if err := kernel.Map(e.ctx, e.cfg.Workers, k, func(i int) error {
 		acc := new(big.Int)
 		for j := 0; j < e.cfg.N; j++ {
-			var piece *big.Int
-			if j == e.me {
-				piece = perParty[e.me][i]
-			} else {
-				ys, ok := all[j].([]*big.Int)
-				if !ok || len(ys) != k {
-					return nil, fmt.Errorf("ssmpc: malformed mul batch from party %d", j)
-				}
-				piece = ys[i]
-			}
-			acc.Add(acc, new(big.Int).Mul(e.lambda[j], piece))
+			acc.Add(acc, new(big.Int).Mul(e.lambda[j], cols[j][i]))
 		}
 		out[i] = Share{y: acc.Mod(acc, e.cfg.P)}
+		return nil
+	}); err != nil {
+		return nil, transport.AnnotatePhase(err, "ssmpc")
 	}
 	return out, nil
 }

@@ -105,7 +105,7 @@ func TestMissingReRandomizationLeaksBits(t *testing.T) {
 	// Ablation: no re-randomisation ⇒ full recovery. Note compareAll
 	// indexes τ by bit position from the LSB, matching the candidates.
 	unsafeCfg := Config{Group: g, L: l, UnsafeNoReRandomize: true}
-	leakySet, err := compareAll(unsafeCfg, scheme, joint, victimBits, theirCts, rng)
+	leakySet, err := compareAll(context.Background(), unsafeCfg, scheme, joint, victimBits, theirCts, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestMissingReRandomizationLeaksBits(t *testing.T) {
 
 	// Real protocol: re-randomisation on ⇒ zero matches.
 	safeCfg := Config{Group: g, L: l}
-	safeSet, err := compareAll(safeCfg, scheme, joint, victimBits, theirCts, rng)
+	safeSet, err := compareAll(context.Background(), safeCfg, scheme, joint, victimBits, theirCts, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestProveDecryptionCatchesWrongKeyStrip(t *testing.T) {
 				errCh <- err
 				return
 			}
-			mySet, err := compareAll(cfg, scheme, joint, myBits, theirCts, rng)
+			mySet, err := compareAll(context.Background(), cfg, scheme, joint, myBits, theirCts, rng)
 			if err != nil {
 				errCh <- err
 				return

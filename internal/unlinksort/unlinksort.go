@@ -42,6 +42,7 @@ import (
 	"groupranking/internal/elgamal"
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/group"
+	"groupranking/internal/kernel"
 	"groupranking/internal/obsv"
 	"groupranking/internal/transport"
 	"groupranking/internal/zkp"
@@ -89,6 +90,13 @@ type Config struct {
 	// security would additionally need verifiable-shuffle proofs, which
 	// the paper leaves out of scope.
 	ProveDecryption bool
+	// Workers bounds the goroutines each party fans its crypto kernels
+	// out on (bitwise encryption, the per-peer comparison circuit, the
+	// chain's strip-blind-shuffle, the final zero scan). 0 means
+	// runtime.NumCPU, 1 forces the serial reference path. Results are
+	// bit-identical at every worker count: all randomness is pre-drawn
+	// serially in the reference draw order, workers get pure arithmetic.
+	Workers int
 }
 
 func (c Config) validate() error {
@@ -226,6 +234,11 @@ func PartyCtx(ctx context.Context, cfg Config, me int, fab transport.Net, beta *
 	if err != nil {
 		return Result{}, err
 	}
+	// The joint key is now fixed for the rest of the run and masks every
+	// ciphertext this party will produce: switch to a scheme with a
+	// fixed-base table for it. (The generator's table is cached inside
+	// the group itself.)
+	scheme = scheme.WithPrecomp(joint)
 
 	// Step 6: publish the bitwise encryption of beta.
 	obs.Begin(PhasePublishBits)
@@ -236,7 +249,7 @@ func PartyCtx(ctx context.Context, cfg Config, me int, fab transport.Net, beta *
 
 	// Step 7: homomorphic comparison circuit against every other party.
 	obs.Begin(PhaseCompare)
-	mySet, err := compareAll(cfg, scheme, joint, myBits, theirCts, rng)
+	mySet, err := compareAll(ctx, cfg, scheme, joint, myBits, theirCts, rng)
 	if err != nil {
 		return Result{}, err
 	}
@@ -249,9 +262,16 @@ func PartyCtx(ctx context.Context, cfg Config, me int, fab transport.Net, beta *
 	}
 
 	// Step 9: strip the last layer and count zeros.
+	isZero := make([]bool, len(finalSet))
+	if err := kernel.Map(ctx, cfg.Workers, len(finalSet), func(idx int) error {
+		isZero[idx] = scheme.IsZero(key.X, finalSet[idx])
+		return nil
+	}); err != nil {
+		return Result{}, transport.AnnotatePhase(err, PhaseFinalSet)
+	}
 	var positions []int
-	for idx, ct := range finalSet {
-		if scheme.IsZero(key.X, ct) {
+	for idx, z := range isZero {
+		if z {
 			positions = append(positions, idx)
 		}
 	}
@@ -285,6 +305,13 @@ func keyPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int, f
 		y, ok := received[j].(group.Element)
 		if !ok {
 			return nil, nil, nil, fmt.Errorf("unlinksort: party %d sent a malformed key share", j)
+		}
+		// Gob decoding reconstructs raw coordinates without a group
+		// context; membership MUST be checked here, or an off-curve key
+		// share mounts an invalid-curve attack through the joint key.
+		if err := group.Validate(g, y); err != nil {
+			return nil, nil, nil, transport.EnsureAbort(
+				fmt.Errorf("unlinksort: party %d sent an invalid key share: %w", j, err), j, PhaseKeygen)
 		}
 		ys[j] = y
 	}
@@ -371,6 +398,10 @@ func proofPhase(ctx context.Context, cfg Config, me int, fab transport.Net, key 
 		if !ok {
 			return fmt.Errorf("unlinksort: party %d sent a malformed proof commitment", j)
 		}
+		if err := group.Validate(g, hj); err != nil {
+			return transport.EnsureAbort(
+				fmt.Errorf("unlinksort: party %d sent an invalid proof commitment: %w", j, err), j, PhaseKeyProof)
+		}
 		zj, ok := responses[j].(*big.Int)
 		if !ok {
 			return fmt.Errorf("unlinksort: party %d sent a malformed proof response", j)
@@ -406,11 +437,20 @@ func publishBits(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int
 	if err != nil {
 		return nil, nil, err
 	}
-	mine := make([]elgamal.Ciphertext, cfg.L)
-	for t, b := range bits {
-		if mine[t], err = scheme.EncryptExp(joint, big.NewInt(int64(b)), rng); err != nil {
+	// Pre-draw the per-bit encryption randomness serially (reference
+	// draw order), then fan the pure encryption arithmetic out.
+	rs := make([]*big.Int, cfg.L)
+	for t := range rs {
+		if rs[t], err = scheme.Group().RandomScalar(rng); err != nil {
 			return nil, nil, err
 		}
+	}
+	mine := make([]elgamal.Ciphertext, cfg.L)
+	if err := kernel.Map(ctx, cfg.Workers, cfg.L, func(t int) error {
+		mine[t] = scheme.EncryptExpR(joint, big.NewInt(int64(bits[t])), rs[t])
+		return nil
+	}); err != nil {
+		return nil, nil, transport.AnnotatePhase(err, "publish-bits")
 	}
 	if err := fab.Broadcast(roundPublishBits, me, cfg.L*scheme.EncodedLen(), bitsMsg{Cts: mine}); err != nil {
 		return nil, nil, transport.AnnotatePhase(err, "publish-bits")
@@ -428,9 +468,29 @@ func publishBits(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int
 		if !ok || len(msg.Cts) != cfg.L {
 			return nil, nil, fmt.Errorf("unlinksort: party %d sent a malformed bit vector", j)
 		}
+		if err := validateSet(cfg.Group, j, msg.Cts); err != nil {
+			return nil, nil, err
+		}
 		theirs[j] = msg.Cts
 	}
 	return bits, theirs, nil
+}
+
+// validateSet checks every component of a received ciphertext set for
+// group membership (see group.Validate); from names the sender for the
+// typed abort.
+func validateSet(g group.Group, from int, set []elgamal.Ciphertext) error {
+	for _, ct := range set {
+		if err := group.Validate(g, ct.C); err != nil {
+			return transport.EnsureAbort(
+				fmt.Errorf("unlinksort: party %d sent an invalid ciphertext: %w", from, err), from, "unlinksort")
+		}
+		if err := group.Validate(g, ct.C1); err != nil {
+			return transport.EnsureAbort(
+				fmt.Errorf("unlinksort: party %d sent an invalid ciphertext: %w", from, err), from, "unlinksort")
+		}
+	}
+	return nil
 }
 
 // compareAll evaluates the step-7 circuit of Fig. 1 against every other
@@ -443,32 +503,57 @@ func publishBits(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int
 //
 // τ^t = 0 exactly at the most significant differing bit when that bit is
 // 1 in β_i and 0 in β_j, i.e. the set contains a zero iff β_j < β_i.
-func compareAll(cfg Config, scheme *elgamal.Scheme, joint group.Element, myBits []uint8, theirCts [][]elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+func compareAll(ctx context.Context, cfg Config, scheme *elgamal.Scheme, joint group.Element, myBits []uint8, theirCts [][]elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
 	l := cfg.L
-	set := make([]elgamal.Ciphertext, 0, (len(theirCts)-1)*l)
+	// Pre-draw each peer circuit's randomness serially in the reference
+	// order — one scalar for the suffix-sum zero encryption, then one
+	// re-randomiser per bit — so the fan-out below is pure arithmetic
+	// and the output is identical at every worker count.
+	type peerWork struct {
+		cts  []elgamal.Ciphertext
+		zero *big.Int
+		rr   []*big.Int
+	}
+	var peers []peerWork
 	for _, cts := range theirCts {
 		if cts == nil {
 			continue // self slot
 		}
+		w := peerWork{cts: cts}
+		var err error
+		if w.zero, err = scheme.Group().RandomScalar(rng); err != nil {
+			return nil, err
+		}
+		if !cfg.UnsafeNoReRandomize {
+			w.rr = make([]*big.Int, l)
+			for t := range w.rr {
+				if w.rr[t], err = scheme.Group().RandomScalar(rng); err != nil {
+					return nil, err
+				}
+			}
+		}
+		peers = append(peers, w)
+	}
+
+	outs := make([][]elgamal.Ciphertext, len(peers))
+	if err := kernel.Map(ctx, cfg.Workers, len(peers), func(pi int) error {
+		w := peers[pi]
 		// E(γ^t): if my bit is 0, γ = β_i^t; if 1, γ = 1 − β_i^t.
 		gammas := make([]elgamal.Ciphertext, l)
 		for t := 0; t < l; t++ {
 			if myBits[t] == 0 {
-				gammas[t] = cts[t]
+				gammas[t] = w.cts[t]
 			} else {
-				gammas[t] = scheme.AddPlain(scheme.Neg(cts[t]), big.NewInt(1))
+				gammas[t] = scheme.AddPlain(scheme.Neg(w.cts[t]), big.NewInt(1))
 			}
 		}
 		// Suffix sums S_t = Σ_{v>t} γ^v (0-based index t ⇒ bits above t).
 		suffix := make([]elgamal.Ciphertext, l+1)
-		zero, err := scheme.EncryptExp(joint, big.NewInt(0), rng)
-		if err != nil {
-			return nil, err
-		}
-		suffix[l] = zero
+		suffix[l] = scheme.EncryptExpR(joint, big.NewInt(0), w.zero)
 		for t := l - 1; t >= 0; t-- {
 			suffix[t] = scheme.Add(suffix[t+1], gammas[t])
 		}
+		taus := make([]elgamal.Ciphertext, l)
 		for t := 0; t < l; t++ {
 			// Positions are 1-based in the paper; weight = l − t with
 			// 0-based t counting from the LSB... the paper's (l−t+1) with
@@ -486,12 +571,19 @@ func compareAll(cfg Config, scheme *elgamal.Scheme, joint group.Element, myBits 
 			// TestMissingReRandomizationLeaksBits carries out that
 			// attack against the UnsafeNoReRandomize ablation).
 			if !cfg.UnsafeNoReRandomize {
-				if tau, err = scheme.ReRandomize(joint, tau, rng); err != nil {
-					return nil, err
-				}
+				tau = scheme.ReRandomizeR(joint, tau, w.rr[t])
 			}
-			set = append(set, tau)
+			taus[t] = tau
 		}
+		outs[pi] = taus
+		return nil
+	}); err != nil {
+		return nil, transport.AnnotatePhase(err, PhaseCompare)
+	}
+
+	set := make([]elgamal.Ciphertext, 0, len(peers)*l)
+	for _, taus := range outs {
+		set = append(set, taus...)
 	}
 	return set, nil
 }
@@ -558,6 +650,9 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 			if cfg.ProveDecryption && !bytes.Equal(hashSet(scheme, msg.Set), anchors[j]) {
 				return nil, fmt.Errorf("unlinksort: party %d's τ set does not match its anchor", j)
 			}
+			if err := validateSet(cfg.Group, j, msg.Set); err != nil {
+				return nil, err
+			}
 			v[j] = msg.Set
 		}
 	}
@@ -602,7 +697,17 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 		if !ok || len(msg.V) != n {
 			return nil, fmt.Errorf("unlinksort: malformed chain vector from party %d", me-1)
 		}
+		for owner := range msg.V {
+			if err := validateSet(cfg.Group, me-1, msg.V[owner]); err != nil {
+				return nil, err
+			}
+		}
 		if cfg.ProveDecryption {
+			for owner := range msg.Stripped {
+				if err := validateSet(cfg.Group, me-1, msg.Stripped[owner]); err != nil {
+					return nil, err
+				}
+			}
 			if err := verifyChainHop(cfg, scheme, me-1, ys[me-1], prevCommit, msg); err != nil {
 				return nil, err
 			}
@@ -622,18 +727,18 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 			continue
 		}
 		if cfg.ProveDecryption {
-			stripped, proofs, err := stripWithProofs(cfg, scheme, key, v[owner], rng)
+			stripped, proofs, err := stripWithProofs(ctx, cfg, scheme, key, v[owner], rng)
 			if err != nil {
 				return nil, err
 			}
 			out.Stripped[owner] = stripped
 			out.Proofs[owner] = proofs
-			if out.V[owner], err = blindAndShuffle(scheme, stripped, rng); err != nil {
+			if out.V[owner], err = blindAndShuffle(ctx, cfg, scheme, stripped, rng); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		processed, err := processSet(scheme, key.X, v[owner], rng)
+		processed, err := processSet(ctx, cfg, scheme, key.X, v[owner], rng)
 		if err != nil {
 			return nil, err
 		}
@@ -694,6 +799,9 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 		if !bytes.Equal(hashSet(scheme, msg.Set), commit.Hashes[me]) {
 			return nil, fmt.Errorf("unlinksort: final set does not match party %d's commitment", n-1)
 		}
+		if err := validateSet(cfg.Group, n-1, msg.Set); err != nil {
+			return nil, err
+		}
 		return msg.Set, nil
 	}
 	payload, err := fab.RecvCtx(ctx, me, n-1, roundChainBase+n-1)
@@ -703,6 +811,9 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 	msg, ok := payload.(finalMsg)
 	if !ok || len(msg.Set) != len(mySet) {
 		return nil, fmt.Errorf("unlinksort: malformed final set from party %d", n-1)
+	}
+	if err := validateSet(cfg.Group, n-1, msg.Set); err != nil {
+		return nil, err
 	}
 	return msg.Set, nil
 }
@@ -755,16 +866,22 @@ func verifyChainHop(cfg Config, scheme *elgamal.Scheme, prev int, prevKey group.
 
 // processSet strips this party's key layer from every ciphertext,
 // exponent-blinds it (zero plaintexts stay zero, everything else becomes
-// uniformly random), and applies a fresh random permutation.
-func processSet(scheme *elgamal.Scheme, x *big.Int, set []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+// uniformly random), and applies a fresh random permutation. The strip
+// and blind — four random-base exponentiations per ciphertext, the bulk
+// of the protocol's serial chain cost — fan out across workers; the
+// blinding scalars are pre-drawn in index order and the shuffle draws
+// after them, exactly the reference sequence.
+func processSet(ctx context.Context, cfg Config, scheme *elgamal.Scheme, x *big.Int, set []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+	blinds, err := drawScalars(scheme, len(set), rng)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]elgamal.Ciphertext, len(set))
-	for i, ct := range set {
-		stripped := scheme.PartialDecrypt(x, ct)
-		blinded, err := scheme.ExponentBlind(stripped, rng)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = blinded
+	if err := kernel.Map(ctx, cfg.Workers, len(set), func(i int) error {
+		out[i] = scheme.ExponentBlindR(scheme.PartialDecrypt(x, set[i]), blinds[i])
+		return nil
+	}); err != nil {
+		return nil, transport.AnnotatePhase(err, PhaseChain)
 	}
 	if err := shuffle(out, rng); err != nil {
 		return nil, err
@@ -774,33 +891,62 @@ func processSet(scheme *elgamal.Scheme, x *big.Int, set []elgamal.Ciphertext, rn
 
 // stripWithProofs strips the key layer from every ciphertext and proves
 // each strip with a Chaum–Pedersen transcript, in the set's received
-// order so no permutation information leaks.
-func stripWithProofs(cfg Config, scheme *elgamal.Scheme, key *elgamal.KeyPair, set []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, []zkp.EqualityTranscript, error) {
-	stripped := make([]elgamal.Ciphertext, len(set))
-	proofs := make([]zkp.EqualityTranscript, len(set))
-	for i, ct := range set {
-		stripped[i] = scheme.PartialDecrypt(key.X, ct)
-		proof, err := zkp.ProvePartialDecryption(cfg.Group, key.X, key.Y, ct.C1, ct.C, stripped[i].C, rng)
-		if err != nil {
+// order so no permutation information leaks. Each proof pre-draws its
+// commit randomness and challenge (in ProveEquality's order) serially;
+// the strip and transcript arithmetic fan out.
+func stripWithProofs(ctx context.Context, cfg Config, scheme *elgamal.Scheme, key *elgamal.KeyPair, set []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, []zkp.EqualityTranscript, error) {
+	g := cfg.Group
+	rs := make([]*big.Int, len(set))
+	cs := make([]*big.Int, len(set))
+	for i := range set {
+		var err error
+		if rs[i], err = g.RandomScalar(rng); err != nil {
 			return nil, nil, err
 		}
-		proofs[i] = proof
+		if cs[i], err = zkp.NewChallenge(g, rng); err != nil {
+			return nil, nil, err
+		}
+	}
+	stripped := make([]elgamal.Ciphertext, len(set))
+	proofs := make([]zkp.EqualityTranscript, len(set))
+	if err := kernel.Map(ctx, cfg.Workers, len(set), func(i int) error {
+		ct := set[i]
+		stripped[i] = scheme.PartialDecrypt(key.X, ct)
+		proofs[i] = zkp.ProvePartialDecryptionR(g, key.X, key.Y, ct.C1, ct.C, stripped[i].C, rs[i], cs[i])
+		return nil
+	}); err != nil {
+		return nil, nil, transport.AnnotatePhase(err, PhaseChain)
 	}
 	return stripped, proofs, nil
 }
 
 // blindAndShuffle exponent-blinds and permutes an already-stripped set.
-func blindAndShuffle(scheme *elgamal.Scheme, set []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+func blindAndShuffle(ctx context.Context, cfg Config, scheme *elgamal.Scheme, set []elgamal.Ciphertext, rng io.Reader) ([]elgamal.Ciphertext, error) {
+	blinds, err := drawScalars(scheme, len(set), rng)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]elgamal.Ciphertext, len(set))
-	for i, ct := range set {
-		blinded, err := scheme.ExponentBlind(ct, rng)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = blinded
+	if err := kernel.Map(ctx, cfg.Workers, len(set), func(i int) error {
+		out[i] = scheme.ExponentBlindR(set[i], blinds[i])
+		return nil
+	}); err != nil {
+		return nil, transport.AnnotatePhase(err, PhaseChain)
 	}
 	if err := shuffle(out, rng); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// drawScalars draws k scalars from rng in order.
+func drawScalars(scheme *elgamal.Scheme, k int, rng io.Reader) ([]*big.Int, error) {
+	out := make([]*big.Int, k)
+	for i := range out {
+		var err error
+		if out[i], err = scheme.Group().RandomScalar(rng); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -41,7 +41,6 @@ type EqualityStatement struct {
 // ProveEquality produces an accepting transcript for the statement
 // using secret x and an honest verifier's uniform challenge.
 func ProveEquality(g group.Group, x *big.Int, st EqualityStatement, rng io.Reader) (EqualityTranscript, error) {
-	obsv.PartyOf(g).Add(obsv.OpProofMade, 1)
 	r, err := g.RandomScalar(rng)
 	if err != nil {
 		return EqualityTranscript{}, fmt.Errorf("zkp: equality commit: %w", err)
@@ -50,6 +49,15 @@ func ProveEquality(g group.Group, x *big.Int, st EqualityStatement, rng io.Reade
 	if err != nil {
 		return EqualityTranscript{}, err
 	}
+	return ProveEqualityR(g, x, st, r, c), nil
+}
+
+// ProveEqualityR is ProveEquality with caller-supplied commit randomness
+// r and challenge c (drawn in that order by ProveEquality). The parallel
+// chain kernels pre-draw both serially and fan the transcript arithmetic
+// out across workers.
+func ProveEqualityR(g group.Group, x *big.Int, st EqualityStatement, r, c *big.Int) EqualityTranscript {
+	obsv.PartyOf(g).Add(obsv.OpProofMade, 1)
 	q := g.Order()
 	s := new(big.Int).Mul(c, x)
 	s.Add(s, r)
@@ -59,7 +67,7 @@ func ProveEquality(g group.Group, x *big.Int, st EqualityStatement, rng io.Reade
 		CommitH:   g.Exp(st.H, r),
 		Challenge: c,
 		Response:  s,
-	}, nil
+	}
 }
 
 // VerifyEquality checks a transcript against the statement.
@@ -80,6 +88,13 @@ func VerifyEquality(g group.Group, st EqualityStatement, t EqualityTranscript) b
 func ProvePartialDecryption(g group.Group, x *big.Int, y, c1, originalC, strippedC group.Element, rng io.Reader) (EqualityTranscript, error) {
 	z := g.Op(originalC, g.Inv(strippedC)) // c1^x
 	return ProveEquality(g, x, EqualityStatement{Y: y, H: c1, Z: z}, rng)
+}
+
+// ProvePartialDecryptionR is ProvePartialDecryption with caller-supplied
+// commit randomness and challenge.
+func ProvePartialDecryptionR(g group.Group, x *big.Int, y, c1, originalC, strippedC group.Element, r, c *big.Int) EqualityTranscript {
+	z := g.Op(originalC, g.Inv(strippedC)) // c1^x
+	return ProveEqualityR(g, x, EqualityStatement{Y: y, H: c1, Z: z}, r, c)
 }
 
 // VerifyPartialDecryption checks a partial-decryption proof.

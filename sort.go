@@ -33,6 +33,10 @@ type SortOptions struct {
 	// communication counters. UnlinkableSort fills one party per value;
 	// UnlinkableSortParty fills only this party's slot.
 	Observer *Observer
+	// Workers bounds the goroutines each party's crypto hot loops fan
+	// out on: 0 uses every CPU, 1 forces the serial reference path.
+	// Results are identical at every setting.
+	Workers int
 }
 
 // UnlinkableSort runs the paper's identity-unlinkable multiparty sorting
@@ -81,7 +85,7 @@ func UnlinkableSort(values []uint64, opts SortOptions) ([]int, error) {
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
-	results, _, err := unlinksort.RunCtx(ctx, unlinksort.Config{Group: g, L: opts.Bits}, betas, opts.Seed, nil)
+	results, _, err := unlinksort.RunCtx(ctx, unlinksort.Config{Group: g, L: opts.Bits, Workers: opts.Workers}, betas, opts.Seed, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +135,7 @@ func UnlinkableSortParty(addrs []string, me int, value uint64, opts SortOptions)
 	if opts.Seed != "" {
 		rng = fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", opts.Seed, me))
 	}
-	res, err := unlinksort.PartyCtx(ctx, unlinksort.Config{Group: g, L: opts.Bits}, me, fab,
+	res, err := unlinksort.PartyCtx(ctx, unlinksort.Config{Group: g, L: opts.Bits, Workers: opts.Workers}, me, fab,
 		new(big.Int).SetUint64(value), rng)
 	if err != nil {
 		return 0, err
