@@ -7,9 +7,9 @@ GO ?= go
 # protocol party, fault-injection delays, TCP pumps, the lock-cheap
 # observability registry): these run under the race detector in short
 # mode as part of check.
-RACE_PKGS := ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/
+RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./cmd/rankparty/
 
-.PHONY: check vet build test race race-full chaos bench bench-json bench-compare trace-demo clean
+.PHONY: check vet build test race race-full chaos bench bench-json bench-compare trace-demo demo-distributed clean
 
 check: vet build test race
 
@@ -52,6 +52,19 @@ bench-compare:
 # span trace on stderr — the quickest way to see the tracer end to end.
 trace-demo:
 	$(GO) run ./cmd/grouprank -n 10 -group toy-dl-256 -seed demo -metrics -trace -
+
+# The full framework as four real OS processes over loopback TCP: one
+# initiator and three participants, each running cmd/rankparty.
+demo-distributed:
+	$(GO) build -o /tmp/rankparty ./cmd/rankparty
+	/tmp/rankparty -addrs 127.0.0.1:9411,127.0.0.1:9412,127.0.0.1:9413,127.0.0.1:9414 \
+	  -me 1 -attrs age:eq,activity:gt -values 30,50 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 & \
+	/tmp/rankparty -addrs 127.0.0.1:9411,127.0.0.1:9412,127.0.0.1:9413,127.0.0.1:9414 \
+	  -me 2 -attrs age:eq,activity:gt -values 25,60 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 & \
+	/tmp/rankparty -addrs 127.0.0.1:9411,127.0.0.1:9412,127.0.0.1:9413,127.0.0.1:9414 \
+	  -me 3 -attrs age:eq,activity:gt -values 45,90 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 & \
+	/tmp/rankparty -addrs 127.0.0.1:9411,127.0.0.1:9412,127.0.0.1:9413,127.0.0.1:9414 \
+	  -me 0 -attrs age:eq,activity:gt -values 30,0 -weights 2,1 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 && wait
 
 clean:
 	$(GO) clean ./...

@@ -26,9 +26,40 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"groupranking"
 	"groupranking/internal/benchtab"
+	"groupranking/internal/fixedbig"
 )
+
+// emitSortRow runs the standalone sorting primitive at size n and
+// prints one TSV cost row from the same transport statistics Rank
+// reports, so both public layers can be compared like for like.
+func emitSortRow(n, bits int, groupName string, workers int) {
+	values := make([]uint64, n)
+	rng := fixedbig.NewDRBG(fmt.Sprintf("benchtab-sort-%d-%d", n, bits))
+	for i := range values {
+		v, err := fixedbig.RandBits(rng, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		values[i] = v.Uint64()
+	}
+	start := time.Now()
+	res, err := groupranking.UnlinkableSortStats(values, groupranking.SortOptions{
+		GroupName: groupName,
+		Bits:      bits,
+		Seed:      "benchtab-sort",
+		Workers:   workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("# standalone unlinkable sort: real run, all parties in-process")
+	fmt.Println("n\tbits\tgroup\tbytes_on_wire\trounds\twall")
+	fmt.Printf("%d\t%d\t%s\t%d\t%d\t%s\n", n, bits, groupName, res.BytesOnWire, res.Rounds, time.Since(start).Round(time.Millisecond))
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,7 +70,15 @@ func main() {
 	real := flag.Bool("real", false, "also run real protocols at small n as a cross-check")
 	jsonOut := flag.String("json", "", "write the machine-readable perf snapshot to this file (- for stdout) and exit")
 	workers := flag.Int("workers", 0, "goroutines per party for the real protocol runs (0 = all CPUs, 1 = serial)")
+	sortN := flag.Int("sort", 0, "run a real n-party standalone unlinkable sort and print its cost row (TSV) — the same BytesOnWire/Rounds accounting Rank reports")
+	sortBits := flag.Int("sort-bits", 16, "value bit width for -sort")
+	groupName := flag.String("group", "toy-dl-256", "DDH group for -sort")
 	flag.Parse()
+
+	if *sortN > 0 {
+		emitSortRow(*sortN, *sortBits, *groupName, *workers)
+		return
+	}
 
 	if *jsonOut != "" {
 		// The snapshot runs real instrumented protocols and needs no

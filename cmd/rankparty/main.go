@@ -1,0 +1,239 @@
+// Command rankparty runs ONE party of the complete privacy-preserving
+// group-ranking framework over real TCP, so the initiator and the n
+// participants can run as separate processes (or machines) — the
+// paper's fully distributed deployment of all three phases: masked
+// dot-product gain computation, identity-unlinkable comparison, and
+// top-k submission with over-claim detection.
+//
+// Index 0 of -addrs is the initiator; indices 1..n are participants.
+// Every process passes the same -addrs, -attrs and protocol parameters
+// (a pre-crypto session handshake aborts the run if they disagree);
+// the private inputs differ per role:
+//
+//	rankparty -addrs :9001,:9002,:9003,:9004 -me 0 -attrs age:eq,income:gt \
+//	          -values 30,0 -weights 2,1 -k 2        # initiator: criterion + weights
+//	rankparty -addrs :9001,:9002,:9003,:9004 -me 1 -attrs age:eq,income:gt \
+//	          -values 30,50                          # participant: private profile
+//	...
+//
+// The initiator prints the top-k submissions it received; each
+// participant prints only its own rank.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"groupranking"
+	"groupranking/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("rankparty: ")
+	var (
+		addrsFlag = flag.String("addrs", "", "comma-separated listen addresses of all parties in index order; index 0 is the initiator")
+		me        = flag.Int("me", -1, "this party's index into -addrs (0 = initiator)")
+		attrsFlag = flag.String("attrs", "", "agreed questionnaire: comma-separated name:kind entries with kind eq or gt (eq entries first)")
+		valFlag   = flag.String("values", "", "this party's private values: the criterion (initiator) or the profile (participant)")
+		wtFlag    = flag.String("weights", "", "the initiator's private criterion weights (initiator only)")
+		k         = flag.Int("k", 3, "agreed top-k cut")
+		d1        = flag.Int("d1", 15, "agreed attribute value bits")
+		d2        = flag.Int("d2", 10, "agreed weight bits")
+		h         = flag.Int("h", 15, "agreed mask bits")
+		groupName = flag.String("group", "secp160r1", "agreed DDH group")
+		sorter    = flag.String("sorter", "unlinkable", "agreed phase-2 sorter: unlinkable or secret-sharing")
+		seed      = flag.String("seed", "", "deterministic seed (testing only; empty = crypto/rand)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "protocol deadline and per-receive bound")
+		workers   = flag.Int("workers", 0, "goroutines for this party's crypto hot loops (0 = all CPUs, 1 = serial)")
+		traceFile = flag.String("trace", "", "write this party's JSONL span trace to this file (- for stderr); written even on abort")
+		metrics   = flag.Bool("metrics", false, "print this party's per-phase summary table to stderr")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*addrsFlag, ",")
+	if *addrsFlag == "" || len(addrs) < 3 {
+		log.Print("need -addrs with the initiator plus at least two participants (three addresses)")
+		return 2
+	}
+	if *me < 0 || *me >= len(addrs) {
+		log.Printf("-me %d outside the address list (%d entries)", *me, len(addrs))
+		return 2
+	}
+	q, err := parseAttrs(*attrsFlag)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	values, err := parseInts(*valFlag, "-values")
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if len(values) != q.M() {
+		log.Printf("-values has %d entries, -attrs has %d", len(values), q.M())
+		return 2
+	}
+
+	opts := groupranking.Options{
+		GroupName: *groupName,
+		K:         *k,
+		D1:        *d1, D2: *d2, H: *h,
+		Seed:    *seed,
+		Timeout: *timeout,
+		Workers: *workers,
+	}
+	switch *sorter {
+	case "unlinkable":
+		opts.Sorter = groupranking.Unlinkable
+	case "secret-sharing":
+		opts.Sorter = groupranking.SecretSharing
+	default:
+		log.Printf("unknown -sorter %q (want unlinkable or secret-sharing)", *sorter)
+		return 2
+	}
+	var obs *groupranking.Observer
+	if *traceFile != "" || *metrics {
+		obs = groupranking.NewObserver()
+		opts.Observer = obs
+	}
+	report := func() {
+		if obs == nil {
+			return
+		}
+		if *traceFile != "" {
+			out := os.Stderr
+			if *traceFile != "-" {
+				f, err := os.Create(*traceFile)
+				if err != nil {
+					log.Printf("trace: %v", err)
+				} else {
+					defer f.Close()
+					out = f
+				}
+			}
+			if err := obs.WriteJSONL(out); err != nil {
+				log.Printf("trace: %v", err)
+			}
+		}
+		if *metrics {
+			obs.WriteSummary(os.Stderr)
+		}
+	}
+
+	if *me == 0 {
+		weights, err := parseInts(*wtFlag, "-weights")
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		if len(weights) != q.M() {
+			log.Printf("-weights has %d entries, -attrs has %d", len(weights), q.M())
+			return 2
+		}
+		crit := groupranking.Criterion{Values: values, Weights: weights}
+		res, err := groupranking.RankInitiatorParty(q, crit, addrs, opts)
+		report()
+		if err != nil {
+			return fail(err, addrs)
+		}
+		fmt.Printf("initiator: received %d top-%d submissions over %d rounds (%d bytes sent)\n",
+			len(res.Submissions), opts.K, res.Rounds, res.BytesOnWire)
+		for _, s := range res.Submissions {
+			fmt.Printf("  rank %d: participant %d, profile %v, recomputed gain %v\n",
+				s.ClaimedRank, s.Participant+1, s.Profile.Values, s.Gain)
+		}
+		for _, p := range res.Suspicious {
+			fmt.Printf("  SUSPICIOUS: participant %d's claimed rank contradicts its submitted profile\n", p+1)
+		}
+		return 0
+	}
+
+	if *wtFlag != "" {
+		log.Print("-weights is initiator-only (participants hold no criterion)")
+		return 2
+	}
+	profile := groupranking.Profile{Values: values}
+	res, err := groupranking.RankParticipantParty(q, addrs, *me, profile, opts)
+	report()
+	if err != nil {
+		return fail(err, addrs)
+	}
+	fmt.Printf("party %d: my gain ranks #%d among %d participants (1 = best)\n", *me, res.Rank, len(addrs)-1)
+	if res.Rank <= opts.K {
+		fmt.Printf("party %d: ranked in the top %d — profile submitted to the initiator\n", *me, opts.K)
+	}
+	return 0
+}
+
+// fail prints the abort protocol's diagnosis and returns the exit code.
+func fail(err error, addrs []string) int {
+	var abort *transport.AbortError
+	if errors.As(err, &abort) {
+		switch {
+		case errors.Is(err, groupranking.ErrSessionMismatch):
+			log.Printf("aborting: session handshake failed — %v", err)
+		case errors.Is(err, transport.ErrPeerDown) && abort.Party >= 0 && abort.Party < len(addrs):
+			log.Printf("aborting: party %d (address %s) is down — %v", abort.Party, addrs[abort.Party], err)
+		case errors.Is(err, transport.ErrTimeout):
+			log.Printf("aborting: timed out waiting for party %d — %v", abort.Party, err)
+		default:
+			log.Printf("aborting: %v", err)
+		}
+		return 1
+	}
+	log.Print(err)
+	return 1
+}
+
+// parseAttrs builds the agreed questionnaire from name:kind entries
+// ("age:eq,income:gt"); a bare kind ("eq,gt") names attributes a0,a1,…
+func parseAttrs(s string) (*groupranking.Questionnaire, error) {
+	if s == "" {
+		return nil, fmt.Errorf("need -attrs (e.g. -attrs age:eq,income:gt)")
+	}
+	var attrs []groupranking.Attribute
+	for i, entry := range strings.Split(s, ",") {
+		name := fmt.Sprintf("a%d", i)
+		kind := entry
+		if c := strings.SplitN(entry, ":", 2); len(c) == 2 {
+			name, kind = c[0], c[1]
+		}
+		switch kind {
+		case "eq":
+			attrs = append(attrs, groupranking.Attribute{Name: name, Kind: groupranking.EqualTo})
+		case "gt":
+			attrs = append(attrs, groupranking.Attribute{Name: name, Kind: groupranking.GreaterThan})
+		default:
+			return nil, fmt.Errorf("attribute %q: kind %q is not eq or gt", entry, kind)
+		}
+	}
+	return groupranking.NewQuestionnaire(attrs)
+}
+
+// parseInts parses a comma-separated int64 list.
+func parseInts(s, flagName string) ([]int64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("need %s (comma-separated integers)", flagName)
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s entry %q: %v", flagName, p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"groupranking/internal/core"
+	"groupranking/internal/transport"
+)
+
+// buildBinary compiles the rankparty command once per test.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rankparty")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building rankparty: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type partyResult struct {
+	out  []byte
+	err  error
+	code int
+}
+
+// startParty builds the command for one endpoint of the demo mesh: the
+// initiator (me = 0) holds the criterion and weights, participants hold
+// a profile.
+func startParty(bin string, addrs []string, me int, timeout time.Duration) (*exec.Cmd, *bytes.Buffer) {
+	args := []string{
+		"-addrs", strings.Join(addrs, ","),
+		"-me", fmt.Sprint(me),
+		"-attrs", "age:eq,activity:gt",
+		"-k", "2", "-d1", "7", "-d2", "4", "-h", "6",
+		"-group", "toy-dl-256",
+		"-seed", "rankparty-test",
+		"-timeout", timeout.String(),
+	}
+	profiles := []string{"30,50", "25,60", "45,90"}
+	if me == 0 {
+		args = append(args, "-values", "30,0", "-weights", "2,1")
+	} else {
+		args = append(args, "-values", profiles[me-1])
+	}
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	return cmd, &buf
+}
+
+// TestFourProcessesComplete is the happy path: the initiator and three
+// participants run the complete framework as four OS processes over
+// loopback TCP; each exits zero, the participants with the expected
+// rank, the initiator with the top-2 submissions.
+func TestFourProcessesComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test skipped in short mode")
+	}
+	bin := buildBinary(t)
+	addrs, err := transport.FreeLoopbackAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]partyResult, 4)
+	var wg sync.WaitGroup
+	for me := 0; me < 4; me++ {
+		me := me
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmd, buf := startParty(bin, addrs, me, 60*time.Second)
+			err := cmd.Run()
+			results[me] = partyResult{out: buf.Bytes(), err: err, code: cmd.ProcessState.ExitCode()}
+		}()
+	}
+	wg.Wait()
+	for me, r := range results {
+		if r.code != 0 {
+			t.Fatalf("party %d exited %d: %s", me, r.code, r.out)
+		}
+	}
+	init := string(results[0].out)
+	if !strings.Contains(init, "received 2 top-2 submissions") {
+		t.Errorf("initiator output %q does not report the top-2 submissions", init)
+	}
+	wantRank := []int{1, 2, 3} // ada, ben, cam with the demo inputs
+	for me := 1; me < 4; me++ {
+		want := fmt.Sprintf("ranks #%d", wantRank[me-1])
+		if !strings.Contains(string(results[me].out), want) {
+			t.Errorf("party %d output %q does not contain %q", me, results[me].out, want)
+		}
+	}
+}
+
+// TestSurvivorsAbortWhenParticipantKilled lets one participant die
+// right after joining the mesh: the three surviving OS processes must
+// exit non-zero with the abort protocol's diagnostic naming the dead
+// party — not hang, not print a rank or submissions. The victim
+// endpoint lives in the test process so its death is deterministic.
+func TestSurvivorsAbortWhenParticipantKilled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test skipped in short mode")
+	}
+	bin := buildBinary(t)
+	addrs, err := transport.FreeLoopbackAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 2
+	results := make([]partyResult, 4)
+	cmds := make([]*exec.Cmd, 4)
+	bufs := make([]*bytes.Buffer, 4)
+	for me := 0; me < 4; me++ {
+		if me == victim {
+			continue
+		}
+		cmds[me], bufs[me] = startParty(bin, addrs, me, 10*time.Second)
+		if err := cmds[me].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The victim joins the mesh, then dies without announcing a session
+	// — exactly how a participant killed right after connecting appears
+	// to its peers.
+	core.RegisterWire()
+	vic, err := transport.NewTCPFabric(addrs, victim, 10*time.Second)
+	if err != nil {
+		t.Fatalf("victim could not join the mesh: %v", err)
+	}
+	vic.Close()
+
+	var wg sync.WaitGroup
+	for me := 0; me < 4; me++ {
+		if me == victim {
+			continue
+		}
+		me := me
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := cmds[me].Wait()
+			results[me] = partyResult{out: bufs[me].Bytes(), err: err, code: cmds[me].ProcessState.ExitCode()}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		for _, c := range cmds {
+			if c != nil && c.Process != nil {
+				c.Process.Kill()
+			}
+		}
+		t.Fatal("survivors hung after participant death")
+	}
+	for me, r := range results {
+		if me == victim {
+			continue
+		}
+		if r.code == 0 {
+			t.Errorf("party %d exited zero after peer death: %s", me, r.out)
+			continue
+		}
+		out := string(r.out)
+		if !strings.Contains(out, "aborting") {
+			t.Errorf("party %d gave no abort diagnostic: %q", me, out)
+		}
+		if strings.Contains(out, "ranks #") || strings.Contains(out, "submissions") {
+			t.Errorf("party %d printed a result despite the abort: %q", me, out)
+		}
+		if !strings.Contains(out, fmt.Sprintf("party %d", victim)) {
+			t.Errorf("party %d did not name the dead party %d: %q", me, victim, out)
+		}
+	}
+}
+
+// TestUsageErrors pins the CLI's argument validation exit code.
+func TestUsageErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test skipped in short mode")
+	}
+	bin := buildBinary(t)
+	cases := [][]string{
+		{},
+		{"-addrs", "a,b", "-me", "0", "-attrs", "eq", "-values", "1"},
+		{"-addrs", "a,b,c", "-me", "5", "-attrs", "eq", "-values", "1"},
+		{"-addrs", "a,b,c", "-me", "0", "-attrs", "age:weird", "-values", "1"},
+		{"-addrs", "a,b,c", "-me", "1", "-attrs", "eq", "-values", "1", "-weights", "2"},
+		{"-addrs", "a,b,c", "-me", "0", "-attrs", "eq", "-values", "1", "-weights", "2", "-sorter", "bogus"},
+	}
+	for _, args := range cases {
+		cmd := exec.Command(bin, args...)
+		out, _ := cmd.CombinedOutput()
+		if code := cmd.ProcessState.ExitCode(); code != 2 {
+			t.Errorf("rankparty %v exited %d (want 2): %s", args, code, out)
+		}
+	}
+}

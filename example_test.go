@@ -39,6 +39,33 @@ func ExampleRank() {
 	// winner: 0
 }
 
+// ExampleRankParticipantParty shows one participant process of a
+// distributed deployment: every party runs the same code with its own
+// -me index (the initiator, index 0, calls RankInitiatorParty instead).
+// It has no Output block because it needs the other three processes on
+// the mesh to actually run.
+func ExampleRankParticipantParty() {
+	q, err := groupranking.NewQuestionnaire([]groupranking.Attribute{
+		{Name: "age", Kind: groupranking.EqualTo},
+		{Name: "income", Kind: groupranking.GreaterThan},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The mesh every process agrees on: addrs[0] is the initiator,
+	// addrs[me] is this process's own listen address.
+	addrs := []string{"host0:9001", "host1:9001", "host2:9001", "host3:9001"}
+	me := 2
+	profile := groupranking.Profile{Values: []int64{29, 40}} // stays local
+	// Options must be identical at every party — the pre-crypto session
+	// handshake aborts the run (ErrSessionMismatch) if they disagree.
+	res, err := groupranking.RankParticipantParty(q, addrs, me, profile, groupranking.Options{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("my rank:", res.Rank) // all this party learns
+}
+
 // ExampleUnlinkableSort ranks privately held values; each party would
 // learn only its own entry of the result.
 func ExampleUnlinkableSort() {

@@ -28,9 +28,6 @@ package groupranking
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
-	"fmt"
 	"math/big"
 	"time"
 
@@ -159,34 +156,11 @@ func CrashAt(party, round int) FaultRule {
 // or errors.As.
 type AbortError = transport.AbortError
 
-func (o Options) withDefaults(n int) (Options, error) {
-	if o.GroupName == "" {
-		o.GroupName = "secp160r1"
-	}
-	if o.K == 0 {
-		o.K = 3
-	}
-	if o.K > n {
-		o.K = n
-	}
-	if o.D1 == 0 {
-		o.D1 = 15
-	}
-	if o.D2 == 0 {
-		o.D2 = 10
-	}
-	if o.H == 0 {
-		o.H = 15
-	}
-	if o.Seed == "" {
-		var raw [16]byte
-		if _, err := rand.Read(raw[:]); err != nil {
-			return o, fmt.Errorf("groupranking: drawing seed: %w", err)
-		}
-		o.Seed = hex.EncodeToString(raw[:])
-	}
-	return o, nil
-}
+// ErrSessionMismatch is the abort cause the distributed entry points
+// surface when the pre-crypto session handshake finds the parties
+// configured with incompatible parameters (different group, bit widths,
+// k, sorter, ...). Match with errors.Is on the returned *AbortError.
+var ErrSessionMismatch = core.ErrSessionMismatch
 
 // Result is the outcome of a framework run as seen by the simulation
 // harness (which plays every role and may therefore report all ranks).
@@ -210,6 +184,13 @@ type Result struct {
 // profile. It returns every participant's rank and the initiator's view
 // of the top-k submissions.
 func Rank(q *Questionnaire, criterion Criterion, profiles []Profile, opts Options) (*Result, error) {
+	return RankCtx(context.Background(), q, criterion, profiles, opts)
+}
+
+// RankCtx is Rank under caller-supplied cancellation: the run aborts
+// cleanly when ctx is done. Options.Timeout, when set, composes with
+// ctx — whichever deadline expires first wins.
+func RankCtx(ctx context.Context, q *Questionnaire, criterion Criterion, profiles []Profile, opts Options) (*Result, error) {
 	o, err := opts.withDefaults(len(profiles))
 	if err != nil {
 		return nil, err
@@ -224,7 +205,7 @@ func Rank(q *Questionnaire, criterion Criterion, profiles []Profile, opts Option
 		Group: g, Sorter: o.Sorter, SkipProofs: o.SkipProofs,
 		ProveDecryption: o.ProveDecryption, Workers: o.Workers,
 	}
-	ctx := obsv.WithRegistry(context.Background(), o.Observer)
+	ctx = obsv.WithRegistry(ctx, o.Observer)
 	if o.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)

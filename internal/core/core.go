@@ -12,28 +12,25 @@
 //     information vectors; the initiator recomputes their gains and
 //     flags inconsistent rank claims (the paper's over-claim defence).
 //
-// Every party is a goroutine over one shared transport fabric, so the
-// recorded trace covers the whole framework and can be replayed over the
-// simulated network of Fig. 3(b).
+// Each role is a standalone state machine callable against any
+// transport.Net: RunInitiatorCtx and RunParticipantCtx run one real
+// party (the deployment entry points drive them over a TCP mesh, after
+// the EstablishSessionCtx parameter handshake), while the RunCtx
+// harness runs every party as a goroutine over one shared in-memory
+// fabric, so the recorded trace covers the whole framework and can be
+// replayed over the simulated network of Fig. 3(b).
 package core
 
 import (
-	"context"
 	"encoding/gob"
-	"errors"
 	"fmt"
-	"io"
 	"math/big"
-	"sort"
 	"sync"
 
 	"groupranking/internal/dotprod"
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/group"
-	"groupranking/internal/obsv"
 	"groupranking/internal/ssmpc"
-	"groupranking/internal/sssort"
-	"groupranking/internal/transport"
 	"groupranking/internal/unlinksort"
 	"groupranking/internal/workload"
 )
@@ -147,6 +144,9 @@ func (p Params) ssFieldPrime() (*big.Int, error) {
 
 // Round tags for the shared trace.
 const (
+	// The distributed session-establishment handshake runs below every
+	// protocol round (the in-process harness skips it).
+	roundSession     = 0
 	roundGainRequest = 1 // participant → initiator: dot-product flow 1
 	roundGainReply   = 2 // initiator → participant: dot-product flow 2
 	// Phase 2 runs in a SubView with this offset.
@@ -157,14 +157,17 @@ const (
 
 // Span names of the framework's own phases. Phase 2 spans come from
 // the sorting subprotocol (unlinksort.Phases, or PhaseSSSort for the
-// secret-sharing baseline).
+// secret-sharing baseline). PhaseSession appears only in distributed
+// runs (the in-process harness skips the handshake).
 const (
+	PhaseSession    = "session"
 	PhaseGain       = "gain"
 	PhaseSSSort     = "ssmpc"
 	PhaseSubmission = "submission"
 )
 
-// Phases lists the framework-level span names for the guard test.
+// Phases lists the framework-level span names every in-process run
+// records (the guard test checks them against a real trace).
 var Phases = []string{PhaseGain, PhaseSubmission}
 
 // Submission is what a top-k participant hands to the initiator.
@@ -202,436 +205,43 @@ type submissionMsg struct {
 	Values   []int64
 }
 
+// validate is the receive-boundary check the initiator applies to every
+// submission before touching its contents: over a real network a peer
+// can send anything, so the claimed rank must be a possible rank, the
+// profile must have the questionnaire's dimension, and every value must
+// fit the d1-bit attribute width all profiles are bound to.
+func (m submissionMsg) validate(p Params) error {
+	if m.Declined {
+		return nil
+	}
+	if m.Rank < 1 || m.Rank > p.N {
+		return fmt.Errorf("core: claimed rank %d outside [1, %d]", m.Rank, p.N)
+	}
+	if len(m.Values) != p.M {
+		return fmt.Errorf("core: submitted profile has %d values, questionnaire has %d attributes", len(m.Values), p.M)
+	}
+	bound := int64(1) << uint(p.D1)
+	for i, v := range m.Values {
+		if v < 0 || v >= bound {
+			return fmt.Errorf("core: submitted value %d at attribute %d outside [0, 2^%d)", v, i, p.D1)
+		}
+	}
+	return nil
+}
+
 var _wireOnce sync.Once
 
 // RegisterWire registers every type the framework sends over a
-// serialising transport (transport.TCPFabric), including the phase-2
+// serialising transport (transport.TCPFabric), including all phase
 // subprotocol types. Safe to call repeatedly.
 func RegisterWire() {
 	_wireOnce.Do(func() {
 		unlinksort.RegisterWire()
-		gob.Register(&dotprod.BobMessage{})
-		gob.Register(&dotprod.AliceReply{})
+		dotprod.RegisterWire()
+		ssmpc.RegisterWire()
+		gob.Register(sessionMsg{})
 		gob.Register(submissionMsg{})
-		gob.Register([]*big.Int{}) // ssmpc share batches
 	})
-}
-
-// initiatorState carries what the initiator remembers between phases.
-type initiatorState struct {
-	rho  *big.Int
-	rhoJ []*big.Int // per participant
-}
-
-// RunInitiator executes the initiator's side over the fabric (party
-// index 0 of n+1). It returns the received submissions and the flagged
-// participants.
-func RunInitiator(params Params, q *workload.Questionnaire, crit workload.Criterion, fab transport.Net, rng io.Reader) ([]Submission, []int, error) {
-	return RunInitiatorCtx(context.Background(), params, q, crit, fab, rng)
-}
-
-// RunInitiatorCtx is RunInitiator with cancellation: every blocking
-// receive honours ctx and failures surface as typed *AbortError values
-// naming the peer, phase and round being waited on.
-func RunInitiatorCtx(ctx context.Context, params Params, q *workload.Questionnaire, crit workload.Criterion, fab transport.Net, rng io.Reader) ([]Submission, []int, error) {
-	if err := params.Validate(); err != nil {
-		return nil, nil, err
-	}
-	obs := obsv.PartyFrom(ctx)
-	fab = obsv.ObservedNet(fab, obs)
-	defer obs.End()
-	prime, err := params.fieldPrime()
-	if err != nil {
-		return nil, nil, err
-	}
-	dp := dotprod.DefaultSRange(prime)
-	dp.Obs = obs
-	dp.Workers = params.Workers
-
-	obs.Begin(PhaseGain)
-	// Step 1: pick the h-bit masking factor ρ ≥ 1 (top bit set so every
-	// ρ_j < ρ preserves the partial-gain order).
-	rhoLow, err := fixedbig.RandBits(rng, params.H-1)
-	if err != nil {
-		return nil, nil, err
-	}
-	rho := new(big.Int).SetBit(rhoLow, params.H-1, 1)
-
-	vPrime, err := q.InitiatorVector(crit, rho)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// Steps 3-4: answer each participant's dot-product flow with her own
-	// random offset ρ_j.
-	st := initiatorState{rho: rho, rhoJ: make([]*big.Int, params.N)}
-	flows, err := fab.GatherAllCtx(ctx, 0, roundGainRequest)
-	if err != nil {
-		return nil, nil, transport.AnnotatePhase(err, "gain")
-	}
-	for j := 1; j <= params.N; j++ {
-		msg, ok := flows[j].(*dotprod.BobMessage)
-		if !ok {
-			return nil, nil, fmt.Errorf("core: participant %d sent a malformed gain flow", j)
-		}
-		rhoJ, err := fixedbig.RandInt(rng, rho)
-		if err != nil {
-			return nil, nil, err
-		}
-		st.rhoJ[j-1] = rhoJ
-		reply, err := dotprod.AliceRespond(dp, msg, vPrime, rhoJ)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: answering participant %d: %w", j, err)
-		}
-		if err := fab.Send(roundGainReply, 0, j, reply.WireBytes(dp), reply); err != nil {
-			return nil, nil, transport.AnnotatePhase(err, "gain")
-		}
-	}
-
-	// Phase 3: collect one submission or decline from every participant.
-	obs.Begin(PhaseSubmission)
-	subs, err := fab.GatherAllCtx(ctx, 0, roundSubmission)
-	if err != nil {
-		return nil, nil, transport.AnnotatePhase(err, "submission")
-	}
-	var submissions []Submission
-	for j := 1; j <= params.N; j++ {
-		msg, ok := subs[j].(submissionMsg)
-		if !ok {
-			return nil, nil, fmt.Errorf("core: participant %d sent a malformed submission", j)
-		}
-		if msg.Declined {
-			continue
-		}
-		profile := workload.Profile{Values: msg.Values}
-		gain, err := q.Gain(crit, profile)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: recomputing gain of participant %d: %w", j, err)
-		}
-		submissions = append(submissions, Submission{
-			Participant: j - 1,
-			ClaimedRank: msg.Rank,
-			Profile:     profile,
-			Gain:        gain,
-		})
-	}
-	sort.Slice(submissions, func(a, b int) bool {
-		if submissions[a].ClaimedRank != submissions[b].ClaimedRank {
-			return submissions[a].ClaimedRank < submissions[b].ClaimedRank
-		}
-		return submissions[a].Participant < submissions[b].Participant
-	})
-
-	// Over-claim detection: recompute β̂ = ρ·p̂ + ρ_j from each submitted
-	// profile and flag every pair whose claimed-rank order contradicts
-	// the recomputed gain order.
-	suspicious := map[int]bool{}
-	betaHat := make([]*big.Int, len(submissions))
-	for i, s := range submissions {
-		pg, err := q.PartialGain(crit, s.Profile)
-		if err != nil {
-			return nil, nil, err
-		}
-		betaHat[i] = new(big.Int).Mul(rho, pg)
-		betaHat[i].Add(betaHat[i], st.rhoJ[s.Participant])
-	}
-	for a := range submissions {
-		for b := a + 1; b < len(submissions); b++ {
-			rankCmp := compareInt(submissions[a].ClaimedRank, submissions[b].ClaimedRank)
-			betaCmp := betaHat[b].Cmp(betaHat[a]) // descending: higher β ⇒ lower rank
-			// Inconsistent when the claimed order contradicts the
-			// recomputed order, or when two distinct β values claim the
-			// same rank (honest equal ranks only arise from equal β).
-			if (rankCmp != 0 && betaCmp != 0 && rankCmp != betaCmp) ||
-				(rankCmp == 0 && betaCmp != 0) {
-				suspicious[submissions[a].Participant] = true
-				suspicious[submissions[b].Participant] = true
-			}
-		}
-	}
-	flagged := make([]int, 0, len(suspicious))
-	for p := range suspicious {
-		flagged = append(flagged, p)
-	}
-	sort.Ints(flagged)
-	return submissions, flagged, nil
-}
-
-// ParticipantOutput is what RunParticipant reports to the harness.
-type ParticipantOutput struct {
-	// Rank is the participant's self-computed rank (1 = best).
-	Rank int
-	// Beta is the masked partial gain (unsigned l-bit form).
-	Beta *big.Int
-}
-
-// RunParticipant executes participant j's side (fabric index j with
-// 1 ≤ j ≤ n; index 0 is the initiator).
-func RunParticipant(params Params, j int, q *workload.Questionnaire, profile workload.Profile, fab transport.Net, rng io.Reader) (ParticipantOutput, error) {
-	return RunParticipantCtx(context.Background(), params, j, q, profile, fab, rng)
-}
-
-// RunParticipantCtx is RunParticipant with cancellation threaded
-// through every phase, including the phase-2 sorting subprotocol.
-func RunParticipantCtx(ctx context.Context, params Params, j int, q *workload.Questionnaire, profile workload.Profile, fab transport.Net, rng io.Reader) (ParticipantOutput, error) {
-	var out ParticipantOutput
-	if err := params.Validate(); err != nil {
-		return out, err
-	}
-	if j < 1 || j > params.N {
-		return out, fmt.Errorf("core: participant index %d outside [1, %d]", j, params.N)
-	}
-	// Observability: core's own sends go through the wrapped handle
-	// ofab; the phase-2 SubView below is built over the RAW fabric
-	// because the sorting subprotocols install their own counting
-	// wrapper at the leaf (see obsv.ObservedNet).
-	obs := obsv.PartyFrom(ctx)
-	ofab := obsv.ObservedNet(fab, obs)
-	defer obs.End()
-	prime, err := params.fieldPrime()
-	if err != nil {
-		return out, err
-	}
-	dp := dotprod.DefaultSRange(prime)
-	dp.Obs = obs
-	dp.Workers = params.Workers
-	l := params.BetaBits()
-
-	// Phase 1: dot product with the initiator, recover β.
-	obs.Begin(PhaseGain)
-	wPrime, err := q.ParticipantVector(profile)
-	if err != nil {
-		return out, err
-	}
-	bob, flow, err := dotprod.NewBob(dp, wPrime, rng)
-	if err != nil {
-		return out, err
-	}
-	if err := ofab.Send(roundGainRequest, j, 0, flow.WireBytes(dp), flow); err != nil {
-		return out, transport.AnnotatePhase(err, "gain")
-	}
-	payload, err := ofab.RecvCtx(ctx, j, 0, roundGainReply)
-	if err != nil {
-		return out, transport.AnnotatePhase(err, "gain")
-	}
-	reply, ok := payload.(*dotprod.AliceReply)
-	if !ok {
-		return out, fmt.Errorf("core: initiator sent a malformed gain reply")
-	}
-	betaField, err := bob.Finish(reply)
-	if err != nil {
-		return out, err
-	}
-	betaSigned := fixedbig.CentredMod(betaField, prime)
-	betaU, err := fixedbig.ToUnsigned(betaSigned, l)
-	if err != nil {
-		return out, fmt.Errorf("core: masked gain exceeds the configured width: %w", err)
-	}
-	out.Beta = betaU
-
-	// Phase 2 among the participants only.
-	members := make([]int, params.N)
-	for i := range members {
-		members[i] = i + 1
-	}
-	sub, err := transport.NewSubView(fab, members, phase2RoundOffset)
-	if err != nil {
-		return out, err
-	}
-	switch params.Sorter {
-	case SorterUnlinkable:
-		res, err := unlinksort.PartyCtx(ctx, unlinksort.Config{
-			Group:           params.Group,
-			L:               l,
-			SkipProofs:      params.SkipProofs,
-			ProveDecryption: params.ProveDecryption,
-			Workers:         params.Workers,
-		}, j-1, sub, betaU, rng)
-		if err != nil {
-			return out, err
-		}
-		out.Rank = res.Rank
-	case SorterSecretSharing:
-		rank, err := ssBaselineRank(ctx, params, j-1, sub, betaU, rng)
-		if err != nil {
-			return out, err
-		}
-		out.Rank = rank
-	default:
-		return out, fmt.Errorf("core: unknown sorter %v", params.Sorter)
-	}
-
-	// Phase 3: submit if ranked in the top k, decline otherwise.
-	obs.Begin(PhaseSubmission)
-	msg := submissionMsg{Declined: true}
-	bytes := 1
-	if out.Rank <= params.K {
-		msg = submissionMsg{Rank: out.Rank, Values: append([]int64(nil), profile.Values...)}
-		bytes = 8 * (1 + len(msg.Values))
-	}
-	if err := ofab.Send(roundSubmission, j, 0, bytes, msg); err != nil {
-		return out, transport.AnnotatePhase(err, "submission")
-	}
-	return out, nil
-}
-
-// ssBaselineRank runs the baseline phase 2: all β values are secret
-// shared, sorted with the Batcher network, opened, and each participant
-// locates her own β in the sorted sequence.
-func ssBaselineRank(ctx context.Context, params Params, me int, net transport.Net, betaU *big.Int, rng io.Reader) (int, error) {
-	obsv.PartyFrom(ctx).Begin(PhaseSSSort)
-	prime, err := params.ssFieldPrime()
-	if err != nil {
-		return 0, err
-	}
-	cfg := ssmpc.Config{
-		N:       params.N,
-		Degree:  (params.N - 1) / 2, // the baseline's maximum resistance
-		P:       prime,
-		Kappa:   params.Kappa,
-		Workers: params.Workers,
-	}
-	eng, err := ssmpc.NewEngineCtx(ctx, cfg, me, net, rng)
-	if err != nil {
-		return 0, err
-	}
-	shares := make([]ssmpc.Share, params.N)
-	for dealer := 0; dealer < params.N; dealer++ {
-		var secret *big.Int
-		if dealer == me {
-			secret = betaU
-		}
-		if shares[dealer], err = eng.Share(dealer, secret); err != nil {
-			return 0, err
-		}
-	}
-	opened, err := sssort.SortOpen(eng, shares, params.BetaBits())
-	if err != nil {
-		return 0, err
-	}
-	return sssort.RankDescending(opened, betaU), nil
-}
-
-// Inputs bundles all private inputs for an in-process run.
-type Inputs struct {
-	Questionnaire *workload.Questionnaire
-	Criterion     workload.Criterion
-	Profiles      []workload.Profile
-}
-
-// Run executes the whole framework in-process: the initiator and all
-// participants as goroutines over one fabric. seed derives each party's
-// deterministic randomness; pass distinct seeds for independent runs.
-func Run(params Params, in Inputs, seed string, opts ...transport.Option) (*Result, *transport.Fabric, error) {
-	return RunCtx(context.Background(), params, in, seed, nil, opts...)
-}
-
-// RunCtx is Run with cancellation and an optional transport wrapper.
-// The first party to fail cancels every sibling, so a crash or fault
-// never leaves the run hanging: the returned error is always a typed
-// *AbortError naming the first failing party, phase and round. wrap, if
-// non-nil, decorates the fabric every party talks through (e.g. with a
-// transport.FaultNet for chaos testing); the undecorated fabric is still
-// returned for trace and stats inspection.
-func RunCtx(ctx context.Context, params Params, in Inputs, seed string, wrap func(transport.Net) transport.Net, opts ...transport.Option) (*Result, *transport.Fabric, error) {
-	if err := params.Validate(); err != nil {
-		return nil, nil, err
-	}
-	if in.Questionnaire == nil {
-		return nil, nil, fmt.Errorf("core: missing questionnaire")
-	}
-	if len(in.Profiles) != params.N {
-		return nil, nil, fmt.Errorf("core: %d profiles for %d participants", len(in.Profiles), params.N)
-	}
-	if in.Questionnaire.M() != params.M || in.Questionnaire.T() != params.T {
-		return nil, nil, fmt.Errorf("core: questionnaire shape (m=%d, t=%d) disagrees with params (m=%d, t=%d)",
-			in.Questionnaire.M(), in.Questionnaire.T(), params.M, params.T)
-	}
-	fab, err := transport.New(params.N+1, opts...)
-	if err != nil {
-		return nil, nil, err
-	}
-	var net transport.Net = fab
-	if wrap != nil {
-		net = wrap(fab)
-	}
-	// One failed party cancels its siblings so nobody blocks forever on a
-	// message that will never arrive.
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	type initOut struct {
-		subs    []Submission
-		flagged []int
-		err     error
-	}
-	reg := obsv.RegistryFrom(ctx)
-
-	initCh := make(chan initOut, 1)
-	go func() {
-		pctx := obsv.WithParty(runCtx, reg.Party(0))
-		obsv.Do(pctx, 0, func(ctx context.Context) {
-			rng := fixedbig.NewDRBG(seed + "-initiator")
-			subs, flagged, err := RunInitiatorCtx(ctx, params, in.Questionnaire, in.Criterion, net, rng)
-			if err != nil {
-				cancel()
-			}
-			initCh <- initOut{subs: subs, flagged: flagged, err: err}
-		})
-	}()
-
-	type partOut struct {
-		j   int
-		out ParticipantOutput
-		err error
-	}
-	partCh := make(chan partOut, params.N)
-	for j := 1; j <= params.N; j++ {
-		j := j
-		go func() {
-			pctx := obsv.WithParty(runCtx, reg.Party(j))
-			obsv.Do(pctx, j, func(ctx context.Context) {
-				rng := fixedbig.NewDRBG(fmt.Sprintf("%s-participant-%d", seed, j))
-				out, err := RunParticipantCtx(ctx, params, j, in.Questionnaire, in.Profiles[j-1], net, rng)
-				if err != nil {
-					cancel()
-				}
-				partCh <- partOut{j: j, out: out, err: err}
-			})
-		}()
-	}
-
-	result := &Result{
-		Ranks: make([]int, params.N),
-		Betas: make([]*big.Int, params.N),
-	}
-	// Prefer the root-cause error: cancellation aborts are secondary
-	// effects of the first real failure.
-	var firstErr error
-	keep := func(err error) {
-		if err == nil {
-			return
-		}
-		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
-			firstErr = err
-		}
-	}
-	for i := 0; i < params.N; i++ {
-		po := <-partCh
-		keep(po.err)
-		if po.err == nil {
-			result.Ranks[po.j-1] = po.out.Rank
-			result.Betas[po.j-1] = po.out.Beta
-		}
-	}
-	io := <-initCh
-	keep(io.err)
-	if firstErr != nil {
-		return nil, fab, transport.EnsureAbort(firstErr, -1, "framework")
-	}
-	result.Submissions = io.subs
-	result.Suspicious = io.flagged
-	return result, fab, nil
 }
 
 // ExpectedRanks computes the ground-truth descending ranks from the

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"groupranking/internal/obsv"
+	"groupranking/internal/transport"
+)
+
+// ErrSessionMismatch is the cause carried by the typed abort when the
+// session-establishment round finds two parties configured with
+// incompatible protocol parameters (different group, bit widths, k,
+// sorter, ...). Matching it with errors.Is distinguishes "we never
+// agreed what to run" from mid-protocol failures.
+var ErrSessionMismatch = errors.New("core: session parameters disagree")
+
+// sessionVersion guards the wire format itself: parties running
+// incompatible builds abort in the handshake instead of failing with
+// a gob decode error deep inside a crypto phase.
+const sessionVersion = 1
+
+// sessionMsg is the session-establishment announcement every party
+// broadcasts before any crypto is spent. It pins every parameter whose
+// disagreement would otherwise surface as garbage (wrong field sizes,
+// undecodable group elements, diverging rankings) rather than an error.
+type sessionMsg struct {
+	Version         int
+	N, M, T         int
+	D1, D2, H, K    int
+	L               int // derived masked-gain width, double-checked explicitly
+	Group           string
+	Sorter          int
+	SkipProofs      bool
+	ProveDecryption bool
+	Kappa           int
+}
+
+// sessionFromParams builds the canonical announcement for params,
+// normalising defaulted fields so equivalent configurations compare
+// equal.
+func sessionFromParams(p Params) sessionMsg {
+	kappa := p.Kappa
+	if kappa <= 0 {
+		kappa = 40
+	}
+	return sessionMsg{
+		Version: sessionVersion,
+		N:       p.N, M: p.M, T: p.T,
+		D1: p.D1, D2: p.D2, H: p.H, K: p.K,
+		L:               p.BetaBits(),
+		Group:           p.Group.Name(),
+		Sorter:          int(p.Sorter),
+		SkipProofs:      p.SkipProofs,
+		ProveDecryption: p.ProveDecryption,
+		Kappa:           kappa,
+	}
+}
+
+// diff returns "" when the announcements agree, otherwise a description
+// of the first disagreeing parameter.
+func (m sessionMsg) diff(o sessionMsg) string {
+	switch {
+	case m.Version != o.Version:
+		return fmt.Sprintf("wire version (mine %d, theirs %d)", m.Version, o.Version)
+	case m.N != o.N:
+		return fmt.Sprintf("party count n (mine %d, theirs %d)", m.N, o.N)
+	case m.M != o.M:
+		return fmt.Sprintf("attribute dimension m (mine %d, theirs %d)", m.M, o.M)
+	case m.T != o.T:
+		return fmt.Sprintf("equal-to count t (mine %d, theirs %d)", m.T, o.T)
+	case m.D1 != o.D1:
+		return fmt.Sprintf("attribute bits d1 (mine %d, theirs %d)", m.D1, o.D1)
+	case m.D2 != o.D2:
+		return fmt.Sprintf("weight bits d2 (mine %d, theirs %d)", m.D2, o.D2)
+	case m.H != o.H:
+		return fmt.Sprintf("mask bits h (mine %d, theirs %d)", m.H, o.H)
+	case m.K != o.K:
+		return fmt.Sprintf("top-k cut (mine %d, theirs %d)", m.K, o.K)
+	case m.L != o.L:
+		return fmt.Sprintf("masked-gain width l (mine %d, theirs %d)", m.L, o.L)
+	case m.Group != o.Group:
+		return fmt.Sprintf("group (mine %s, theirs %s)", m.Group, o.Group)
+	case m.Sorter != o.Sorter:
+		return fmt.Sprintf("sorter (mine %s, theirs %s)", Sorter(m.Sorter), Sorter(o.Sorter))
+	case m.SkipProofs != o.SkipProofs:
+		return fmt.Sprintf("SkipProofs (mine %t, theirs %t)", m.SkipProofs, o.SkipProofs)
+	case m.ProveDecryption != o.ProveDecryption:
+		return fmt.Sprintf("ProveDecryption (mine %t, theirs %t)", m.ProveDecryption, o.ProveDecryption)
+	case m.Kappa != o.Kappa:
+		return fmt.Sprintf("statistical parameter kappa (mine %d, theirs %d)", m.Kappa, o.Kappa)
+	}
+	return ""
+}
+
+// wireBytes is the nominal announcement size for the transport stats.
+func (m sessionMsg) wireBytes() int { return 64 + len(m.Group) }
+
+// EstablishSession runs EstablishSessionCtx without cancellation.
+func EstablishSession(params Params, me int, fab transport.Net) error {
+	return EstablishSessionCtx(context.Background(), params, me, fab)
+}
+
+// EstablishSessionCtx runs the session-establishment round: every party
+// broadcasts its view of the protocol parameters and checks everyone
+// else's against it, so a misconfigured deployment aborts with a typed
+// *transport.AbortError (cause ErrSessionMismatch, naming the
+// disagreeing party and parameter) before any crypto is spent. It uses
+// round tag 0, below every protocol round, and must run on the same
+// fabric as the subsequent phases. The in-process harness (RunCtx)
+// skips it — all goroutines share one Params value by construction —
+// so in-process message and operation counts are unchanged; the
+// distributed entry points always run it.
+func EstablishSessionCtx(ctx context.Context, params Params, me int, fab transport.Net) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	obs := obsv.PartyFrom(ctx)
+	net := obsv.ObservedNet(fab, obs)
+	obs.Begin(PhaseSession)
+	mine := sessionFromParams(params)
+	if err := net.Broadcast(roundSession, me, mine.wireBytes(), mine); err != nil {
+		return transport.AnnotatePhase(err, PhaseSession)
+	}
+	all, err := net.GatherAllCtx(ctx, me, roundSession)
+	if err != nil {
+		return transport.AnnotatePhase(err, PhaseSession)
+	}
+	for j, payload := range all {
+		if j == me {
+			continue
+		}
+		theirs, ok := payload.(sessionMsg)
+		if !ok {
+			return transport.Abort(j, roundSession, PhaseSession,
+				fmt.Errorf("%w: party %d sent a malformed session announcement", ErrSessionMismatch, j))
+		}
+		if d := mine.diff(theirs); d != "" {
+			return transport.Abort(j, roundSession, PhaseSession,
+				fmt.Errorf("%w: party %d disagrees on %s", ErrSessionMismatch, j, d))
+		}
+	}
+	return nil
+}

@@ -16,14 +16,28 @@ package dotprod
 
 import (
 	"context"
+	"encoding/gob"
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/kernel"
 	"groupranking/internal/obsv"
 )
+
+var _wireOnce sync.Once
+
+// RegisterWire registers both protocol flows with gob for serialising
+// transports (transport.TCPFabric). Safe to call repeatedly; in-memory
+// fabrics do not need it.
+func RegisterWire() {
+	_wireOnce.Do(func() {
+		gob.Register(&BobMessage{})
+		gob.Register(&AliceReply{})
+	})
+}
 
 // Params fixes the field and the random matrix size range.
 type Params struct {
@@ -66,6 +80,71 @@ type BobMessage struct {
 type AliceReply struct {
 	A *big.Int
 	H *big.Int
+}
+
+// checkElem rejects a field element a peer has no business sending:
+// absent, negative or not reduced mod P.
+func checkElem(e, p *big.Int) error {
+	if e == nil {
+		return fmt.Errorf("dotprod: missing field element")
+	}
+	if e.Sign() < 0 || e.Cmp(p) >= 0 {
+		return fmt.Errorf("dotprod: field element out of range")
+	}
+	return nil
+}
+
+// Validate is the receive-boundary check for the Bob→Alice flow: over a
+// real network the message is attacker-controlled, so the matrix must be
+// rectangular with the advertised dimensions, s must be inside the
+// agreed range, and every entry must be a reduced field element.
+func (m *BobMessage) Validate(p Params) error {
+	if m == nil {
+		return fmt.Errorf("dotprod: missing message")
+	}
+	s := len(m.QX)
+	if s < p.SMin || s > p.SMax {
+		return fmt.Errorf("dotprod: matrix dimension s=%d outside [%d, %d]", s, p.SMin, p.SMax)
+	}
+	d := len(m.QX[0])
+	if d < 2 {
+		return fmt.Errorf("dotprod: vector dimension d=%d too small", d)
+	}
+	if len(m.CPrime) != d || len(m.G) != d {
+		return fmt.Errorf("dotprod: dimension mismatch (d=%d, len(c')=%d, len(g)=%d)", d, len(m.CPrime), len(m.G))
+	}
+	for i, row := range m.QX {
+		if len(row) != d {
+			return fmt.Errorf("dotprod: ragged QX matrix (row %d has %d entries, want %d)", i, len(row), d)
+		}
+		for _, e := range row {
+			if err := checkElem(e, p.P); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range m.CPrime {
+		if err := checkElem(e, p.P); err != nil {
+			return err
+		}
+	}
+	for _, e := range m.G {
+		if err := checkElem(e, p.P); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate is the receive-boundary check for the Alice→Bob flow.
+func (r *AliceReply) Validate(p Params) error {
+	if r == nil {
+		return fmt.Errorf("dotprod: missing reply")
+	}
+	if err := checkElem(r.A, p.P); err != nil {
+		return err
+	}
+	return checkElem(r.H, p.P)
 }
 
 // Bob holds Bob's secret protocol state between the two flows.
@@ -239,15 +318,14 @@ func AliceRespond(params Params, msg *BobMessage, v []*big.Int, alpha *big.Int) 
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
+	if err := msg.Validate(params); err != nil {
+		return nil, err
+	}
 	P := params.P
 	s := len(msg.QX)
-	if s == 0 {
-		return nil, fmt.Errorf("dotprod: empty QX matrix")
-	}
 	d := len(msg.QX[0])
-	if len(v)+1 != d || len(msg.CPrime) != d || len(msg.G) != d {
-		return nil, fmt.Errorf("dotprod: dimension mismatch (d=%d, len(v)=%d, len(c')=%d, len(g)=%d)",
-			d, len(v), len(msg.CPrime), len(msg.G))
+	if len(v)+1 != d {
+		return nil, fmt.Errorf("dotprod: dimension mismatch (d=%d, len(v)=%d)", d, len(v))
 	}
 
 	vPrime := make([]*big.Int, d)
@@ -286,6 +364,9 @@ func AliceRespond(params Params, msg *BobMessage, v []*big.Int, alpha *big.Int) 
 func (bob *Bob) Finish(reply *AliceReply) (*big.Int, error) {
 	if bob.done {
 		return nil, fmt.Errorf("dotprod: Finish called twice")
+	}
+	if err := reply.Validate(bob.params); err != nil {
+		return nil, err
 	}
 	bob.done = true
 	P := bob.params.P

@@ -1,0 +1,98 @@
+package dotprod
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"groupranking/internal/fixedbig"
+)
+
+// These tests pin the receive-boundary validation: over a real network
+// both flows are attacker-controlled, so every structural and range
+// violation must be rejected with a descriptive error before any of the
+// message's contents are used.
+
+func validateFixture(t *testing.T) (Params, *Bob, *BobMessage) {
+	t.Helper()
+	p, ok := new(big.Int).SetString("1000003", 10)
+	if !ok {
+		t.Fatal("bad prime literal")
+	}
+	params := DefaultSRange(p)
+	w := []*big.Int{big.NewInt(3), big.NewInt(5), big.NewInt(7)}
+	bob, msg, err := NewBob(params, w, fixedbig.NewDRBG("dotprod-validate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params, bob, msg
+}
+
+func TestBobMessageValidate(t *testing.T) {
+	params, _, good := validateFixture(t)
+	if err := good.Validate(params); err != nil {
+		t.Fatalf("honest flow rejected: %v", err)
+	}
+	corrupt := func(name string, mutate func(m *BobMessage), want string) {
+		t.Run(name, func(t *testing.T) {
+			_, _, msg := validateFixture(t)
+			mutate(msg)
+			err := msg.Validate(params)
+			if err == nil {
+				t.Fatal("corrupted flow accepted")
+			}
+			if want != "" && !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not mention %q", err, want)
+			}
+		})
+	}
+	corrupt("nil message", func(m *BobMessage) { *m = BobMessage{} }, "outside")
+	corrupt("s too large", func(m *BobMessage) {
+		for len(m.QX) <= params.SMax {
+			m.QX = append(m.QX, m.QX[0])
+		}
+	}, "outside")
+	corrupt("ragged matrix", func(m *BobMessage) { m.QX[1] = m.QX[1][:1] }, "ragged")
+	corrupt("cprime length", func(m *BobMessage) { m.CPrime = m.CPrime[:1] }, "mismatch")
+	corrupt("g length", func(m *BobMessage) { m.G = append(m.G, big.NewInt(1)) }, "mismatch")
+	corrupt("nil element", func(m *BobMessage) { m.QX[0][0] = nil }, "missing")
+	corrupt("negative element", func(m *BobMessage) { m.CPrime[0] = big.NewInt(-1) }, "out of range")
+	corrupt("unreduced element", func(m *BobMessage) { m.G[0] = new(big.Int).Set(params.P) }, "out of range")
+
+	var missing *BobMessage
+	if err := missing.Validate(params); err == nil {
+		t.Error("nil pointer accepted")
+	}
+}
+
+func TestAliceReplyValidate(t *testing.T) {
+	params, bob, msg := validateFixture(t)
+	v := []*big.Int{big.NewInt(2), big.NewInt(4), big.NewInt(6)}
+	reply, err := AliceRespond(params, msg, v, big.NewInt(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reply.Validate(params); err != nil {
+		t.Fatalf("honest reply rejected: %v", err)
+	}
+	bad := []*AliceReply{
+		nil,
+		{A: nil, H: big.NewInt(1)},
+		{A: big.NewInt(1), H: nil},
+		{A: big.NewInt(-2), H: big.NewInt(1)},
+		{A: new(big.Int).Set(params.P), H: big.NewInt(1)},
+	}
+	for i, r := range bad {
+		if err := r.Validate(params); err == nil {
+			t.Errorf("bad reply %d accepted", i)
+		}
+	}
+	// Finish must reject an out-of-range reply instead of computing with
+	// it — and must stay usable for the honest reply afterwards.
+	if _, err := bob.Finish(&AliceReply{A: new(big.Int).Set(params.P), H: big.NewInt(0)}); err == nil {
+		t.Error("Finish accepted an unreduced reply")
+	}
+	if _, err := bob.Finish(reply); err != nil {
+		t.Errorf("Finish rejected the honest reply after a bad one: %v", err)
+	}
+}

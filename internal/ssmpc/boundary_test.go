@@ -1,0 +1,89 @@
+package ssmpc
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/transport"
+)
+
+// These tests pin the engine's receive-boundary hardening: a dealer on
+// a real network can send anything, so structurally malformed or
+// out-of-field share batches must surface as typed aborts naming the
+// sender — before any element enters a recombination.
+
+func boundaryEngine(t *testing.T) (*Engine, *transport.Fabric) {
+	t.Helper()
+	p, err := rand.Prime(fixedbig.NewDRBG("boundary-prime"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 3, Degree: 1, P: p, Kappa: 40}
+	fab, err := transport.New(3, transport.WithRecvTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cfg, 1, fab, fixedbig.NewDRBG("boundary-rng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, fab
+}
+
+func TestShareBatchRejectsOutOfFieldElements(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload any
+		want    string
+	}{
+		{"not a batch", "garbage", "malformed"},
+		{"wrong count", []*big.Int{big.NewInt(1)}, "malformed"},
+		{"nil element", []*big.Int{big.NewInt(1), nil}, "out-of-field"},
+		{"negative element", []*big.Int{big.NewInt(-1), big.NewInt(1)}, "out-of-field"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			e, fab := boundaryEngine(t)
+			// Round 1 is the engine's first ShareBatch; party 0 plays a
+			// cheating dealer.
+			if err := fab.Send(1, 0, 1, 4, tc.payload); err != nil {
+				t.Fatal(err)
+			}
+			_, err := e.ShareBatch(0, nil, 2)
+			if err == nil {
+				t.Fatal("cheating dealer's batch accepted")
+			}
+			var abort *transport.AbortError
+			if !errors.As(err, &abort) {
+				t.Fatalf("error %v is not a typed abort", err)
+			}
+			if abort.Party != 0 {
+				t.Errorf("abort names party %d, want the dealer 0", abort.Party)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestShareBatchRejectsUnreducedElement(t *testing.T) {
+	e, fab := boundaryEngine(t)
+	huge := new(big.Int).Set(e.cfg.P) // == P, so not reduced mod P
+	if err := fab.Send(1, 0, 1, 4, []*big.Int{big.NewInt(1), huge}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.ShareBatch(0, nil, 2)
+	if err == nil {
+		t.Fatal("unreduced share accepted")
+	}
+	if !strings.Contains(err.Error(), "out-of-field") {
+		t.Errorf("error %q does not mention the field violation", err)
+	}
+}

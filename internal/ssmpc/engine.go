@@ -13,15 +13,29 @@ package ssmpc
 
 import (
 	"context"
+	"encoding/gob"
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"groupranking/internal/kernel"
 	"groupranking/internal/obsv"
 	"groupranking/internal/shamir"
 	"groupranking/internal/transport"
 )
+
+var _wireOnce sync.Once
+
+// RegisterWire registers the engine's wire payloads with gob for
+// serialising transports (transport.TCPFabric): every engine round
+// exchanges []*big.Int share batches. Safe to call repeatedly.
+func RegisterWire() {
+	_wireOnce.Do(func() {
+		gob.Register(new(big.Int))
+		gob.Register([]*big.Int{})
+	})
+}
 
 // Config describes one MPC session.
 type Config struct {
@@ -191,9 +205,27 @@ func (e *Engine) ShareBatch(dealer int, secrets []*big.Int, count int) ([]Share,
 	}
 	ys, ok := payload.([]*big.Int)
 	if !ok || len(ys) != count {
-		return nil, fmt.Errorf("ssmpc: malformed share batch from dealer %d", dealer)
+		return nil, transport.EnsureAbort(
+			fmt.Errorf("ssmpc: malformed share batch from dealer %d", dealer), dealer, "ssmpc")
+	}
+	if err := e.checkBatch(ys, dealer, "share"); err != nil {
+		return nil, err
 	}
 	return wrapAll(ys), nil
+}
+
+// checkBatch is the receive-boundary element check: over a real network
+// a peer can send anything, so every share must be present and reduced
+// mod P before it enters any recombination. Failures surface as typed
+// aborts naming the sender.
+func (e *Engine) checkBatch(ys []*big.Int, from int, kind string) error {
+	for _, y := range ys {
+		if y == nil || y.Sign() < 0 || y.Cmp(e.cfg.P) >= 0 {
+			return transport.EnsureAbort(
+				fmt.Errorf("ssmpc: party %d sent an out-of-field %s element", from, kind), from, "ssmpc")
+		}
+	}
+	return nil
 }
 
 // Share deals a single secret.
@@ -255,7 +287,11 @@ func (e *Engine) columns(all []any, mine []*big.Int, k int, kind string) ([][]*b
 		}
 		ys, ok := all[j].([]*big.Int)
 		if !ok || len(ys) != k {
-			return nil, fmt.Errorf("ssmpc: malformed %s batch from party %d", kind, j)
+			return nil, transport.EnsureAbort(
+				fmt.Errorf("ssmpc: malformed %s batch from party %d", kind, j), j, "ssmpc")
+		}
+		if err := e.checkBatch(ys, j, kind); err != nil {
+			return nil, err
 		}
 		cols[j] = ys
 	}

@@ -26,6 +26,11 @@ import (
 	"groupranking/internal/ssmpc"
 )
 
+// RegisterWire registers this protocol's wire payloads with gob for
+// serialising transports: every flow is an ssmpc share batch. Safe to
+// call repeatedly.
+func RegisterWire() { ssmpc.RegisterWire() }
+
 // Result is the public outcome every party computes.
 type Result struct {
 	// Threshold is the lower edge of the final bucket: every value
@@ -105,6 +110,16 @@ func Run(e *ssmpc.Engine, myValue *big.Int, l, k, buckets int) (*Result, error) 
 		counts, err := e.OpenBatch(sums)
 		if err != nil {
 			return nil, fmt.Errorf("topk: opening histogram: %w", err)
+		}
+		// Receive-boundary check: each opened bucket total is a sum of n
+		// 0/1 indicators, so anything outside [0, n] means a party dealt
+		// garbage shares (the value would otherwise be truncated silently
+		// by the Int64 conversions below).
+		nBig := big.NewInt(int64(n))
+		for i, c := range counts {
+			if c.Sign() < 0 || c.Cmp(nBig) > 0 {
+				return nil, fmt.Errorf("topk: opened histogram count at bucket %d outside [0, %d]", i, n)
+			}
 		}
 
 		// Walk buckets from the top until the remaining quota is met.

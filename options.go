@@ -1,0 +1,129 @@
+package groupranking
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// The option resolver shared by every entry point — Rank, the sorting
+// layer and the distributed party runners — so GroupName/Seed/Bits
+// defaults cannot drift between layers.
+
+// defaultGroupName is the package-wide DDH group default.
+const defaultGroupName = "secp160r1"
+
+// defaultPartyTimeout bounds distributed runs (and each blocking
+// receive on the TCP mesh) when the caller sets no Timeout: a dead peer
+// must surface as a typed abort, never a hang.
+const defaultPartyTimeout = 2 * time.Minute
+
+// resolveGroupName applies the shared GroupName default.
+func resolveGroupName(name string) string {
+	if name == "" {
+		return defaultGroupName
+	}
+	return name
+}
+
+// drawSeed returns seed unchanged when non-empty, otherwise a fresh
+// random 128-bit hex seed.
+func drawSeed(seed string) (string, error) {
+	if seed != "" {
+		return seed, nil
+	}
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("groupranking: drawing seed: %w", err)
+	}
+	return hex.EncodeToString(raw[:]), nil
+}
+
+// deriveBits resolves a sorting bit width: the explicit setting when
+// non-zero, otherwise the width of the largest value (at least 1).
+func deriveBits(bits int, values []uint64) int {
+	if bits != 0 {
+		return bits
+	}
+	for _, v := range values {
+		if b := new(big.Int).SetUint64(v).BitLen(); b > bits {
+			bits = b
+		}
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+func (o Options) withDefaults(n int) (Options, error) {
+	o.GroupName = resolveGroupName(o.GroupName)
+	if o.K == 0 {
+		o.K = 3
+	}
+	if o.K > n {
+		o.K = n
+	}
+	if o.D1 == 0 {
+		o.D1 = 15
+	}
+	if o.D2 == 0 {
+		o.D2 = 10
+	}
+	if o.H == 0 {
+		o.H = 15
+	}
+	var err error
+	o.Seed, err = drawSeed(o.Seed)
+	return o, err
+}
+
+// validate checks the resolved sort options the same way Options is
+// checked by core.Params.Validate: out-of-range settings fail with a
+// descriptive error instead of propagating garbage into the protocol.
+func (o SortOptions) validate() error {
+	if o.Bits < 1 || o.Bits > 64 {
+		return fmt.Errorf("groupranking: bits=%d outside [1, 64]", o.Bits)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("groupranking: workers=%d negative", o.Workers)
+	}
+	return nil
+}
+
+// withDefaults resolves GroupName/Bits/Seed for an in-process sort over
+// the given values and validates the result.
+func (o SortOptions) withDefaults(values []uint64) (SortOptions, error) {
+	if len(values) < 2 {
+		return o, fmt.Errorf("groupranking: need at least two values, got %d", len(values))
+	}
+	o.GroupName = resolveGroupName(o.GroupName)
+	o.Bits = deriveBits(o.Bits, values)
+	if err := o.validate(); err != nil {
+		return o, err
+	}
+	var err error
+	o.Seed, err = drawSeed(o.Seed)
+	return o, err
+}
+
+// withPartyDefaults resolves the options for one distributed party:
+// unlike the in-process form, no single process sees all values, so
+// Bits is required rather than derived, the timeout gets the
+// distributed default, and the seed is left empty (empty means real
+// crypto/rand randomness for this party).
+func (o SortOptions) withPartyDefaults() (SortOptions, error) {
+	if o.Bits <= 0 {
+		return o, fmt.Errorf("groupranking: distributed sorting requires an agreed Bits value")
+	}
+	o.GroupName = resolveGroupName(o.GroupName)
+	if err := o.validate(); err != nil {
+		return o, err
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = defaultPartyTimeout
+	}
+	return o, nil
+}

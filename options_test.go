@@ -1,0 +1,89 @@
+package groupranking
+
+import (
+	"strings"
+	"testing"
+)
+
+// The shared option resolver backs every public entry point; these
+// tests pin its defaulting and its K-style validation errors.
+
+func TestSortOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts SortOptions
+		want string
+	}{
+		{"bits too large", SortOptions{Bits: 65}, "outside [1, 64]"},
+		{"bits negative", SortOptions{Bits: -3}, "outside [1, 64]"},
+		{"negative workers", SortOptions{Bits: 8, Workers: -1}, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := UnlinkableSort([]uint64{3, 1, 2}, tc.opts)
+			if err == nil {
+				t.Fatal("invalid options accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSortOptionsDefaults(t *testing.T) {
+	o, err := SortOptions{}.withDefaults([]uint64{5, 200, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.GroupName != defaultGroupName {
+		t.Errorf("group defaulted to %q, want %q", o.GroupName, defaultGroupName)
+	}
+	if o.Bits != 8 { // 200 needs 8 bits
+		t.Errorf("bits derived as %d, want 8", o.Bits)
+	}
+	if o.Seed == "" {
+		t.Error("no seed drawn")
+	}
+	if _, err := (SortOptions{}).withDefaults([]uint64{42}); err == nil {
+		t.Error("single-value sort accepted")
+	}
+}
+
+func TestSortPartyOptionsRequireBits(t *testing.T) {
+	_, err := UnlinkableSortParty([]string{"a", "b"}, 0, 1, SortOptions{})
+	if err == nil || !strings.Contains(err.Error(), "Bits") {
+		t.Fatalf("missing Bits not diagnosed: %v", err)
+	}
+	if o, err := (SortOptions{Bits: 8}).withPartyDefaults(); err != nil {
+		t.Fatal(err)
+	} else {
+		if o.Timeout != defaultPartyTimeout {
+			t.Errorf("timeout defaulted to %v, want %v", o.Timeout, defaultPartyTimeout)
+		}
+		if o.Seed != "" {
+			t.Error("party defaults drew a seed (empty must mean crypto/rand)")
+		}
+	}
+}
+
+func TestUnlinkableSortStats(t *testing.T) {
+	res, err := UnlinkableSortStats([]uint64{42, 97, 13}, SortOptions{
+		GroupName: "toy-dl-256", Bits: 8, Seed: "sort-stats",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 3}
+	for i, r := range res.Ranks {
+		if r != want[i] {
+			t.Errorf("rank[%d] = %d, want %d", i, r, want[i])
+		}
+	}
+	if res.BytesOnWire <= 0 {
+		t.Errorf("BytesOnWire = %d, want > 0", res.BytesOnWire)
+	}
+	if res.Rounds <= 0 {
+		t.Errorf("Rounds = %d, want > 0", res.Rounds)
+	}
+}

@@ -1,0 +1,201 @@
+package groupranking
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"groupranking/internal/core"
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/group"
+	"groupranking/internal/obsv"
+	"groupranking/internal/transport"
+)
+
+// The distributed deployment entry points: one process per party of the
+// complete three-phase framework over a real TCP mesh. addrs lists
+// every party's listen address with the initiator at addrs[0] and
+// participant j at addrs[j]; each process listens on its own slot and
+// dials the rest (gob-framed full mesh). Before any crypto is spent the
+// parties run a session-establishment round confirming they agree on
+// the group, bit widths, k and sorter — a misconfigured party surfaces
+// as a typed *AbortError with cause ErrSessionMismatch, not as garbage.
+//
+// All parties must be started with identical Options (that is what the
+// handshake verifies). A non-empty Options.Seed makes the whole run
+// deterministic — each party derives its RNG exactly as the in-process
+// Rank harness does, so a seed-fixed distributed run produces the same
+// Ranks and Submissions as Rank with that seed; an empty seed draws
+// fresh local randomness per process.
+
+// InitiatorResult is what RankInitiatorParty learns: the framework's
+// initiator-side outcome plus this endpoint's transport statistics.
+type InitiatorResult struct {
+	// Submissions are the top-k disclosures received, in claimed-rank
+	// order, with the initiator's recomputed gains.
+	Submissions []Submission
+	// Suspicious lists participants whose claimed rank contradicts the
+	// recomputed gain (over-claim detection).
+	Suspicious []int
+	// BytesOnWire counts the bytes this endpoint sent (a distributed
+	// party cannot see the whole mesh's traffic).
+	BytesOnWire int64
+	// Rounds is the number of distinct communication rounds this
+	// endpoint took part in.
+	Rounds int
+}
+
+// ParticipantResult is what RankParticipantParty learns: its own rank
+// — nothing about anyone else's — plus this endpoint's transport
+// statistics.
+type ParticipantResult struct {
+	// Rank is this participant's rank (1 = best). If Rank ≤ the agreed
+	// k, this party submitted its profile to the initiator.
+	Rank int
+	// BytesOnWire counts the bytes this endpoint sent.
+	BytesOnWire int64
+	// Rounds is the number of distinct communication rounds this
+	// endpoint took part in.
+	Rounds int
+}
+
+// RankInitiatorParty runs the initiator's side of the full framework
+// over real TCP: it answers every participant's masked dot-product flow
+// with the private criterion, sits out the comparison phase, and
+// collects the top-k submissions. q and the addressing must match every
+// participant's; criterion stays private to this process.
+func RankInitiatorParty(q *Questionnaire, criterion Criterion, addrs []string, opts Options) (*InitiatorResult, error) {
+	return RankInitiatorPartyCtx(context.Background(), q, criterion, addrs, opts)
+}
+
+// RankInitiatorPartyCtx is RankInitiatorParty under caller-supplied
+// cancellation; opts.Timeout (default 2 minutes) composes with ctx and
+// also bounds each blocking receive on the TCP mesh.
+func RankInitiatorPartyCtx(ctx context.Context, q *Questionnaire, criterion Criterion, addrs []string, opts Options) (*InitiatorResult, error) {
+	params, o, err := rankPartyParams(q, addrs, opts)
+	if err != nil {
+		return nil, err
+	}
+	rng := partyRNG(o.Seed, core.InitiatorSeed(o.Seed))
+	subs := []Submission(nil)
+	var flagged []int
+	res, err := runRankParty(ctx, params, o, addrs, 0, func(ctx context.Context, net transport.Net) error {
+		subs, flagged, err = core.RunInitiatorCtx(ctx, params, q, criterion, net, rng)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res2 := &InitiatorResult{Submissions: subs, Suspicious: flagged, BytesOnWire: res.BytesOnWire, Rounds: res.Rounds}
+	return res2, nil
+}
+
+// RankParticipantParty runs participant me's side (1 ≤ me ≤ n, with
+// n = len(addrs)−1) of the full framework over real TCP: the masked
+// dot-product gain computation with the initiator, the
+// identity-unlinkable comparison among the participants, and — when
+// ranked in the agreed top k — the profile submission. profile stays
+// private to this process; the returned rank is all this party learns.
+func RankParticipantParty(q *Questionnaire, addrs []string, me int, profile Profile, opts Options) (*ParticipantResult, error) {
+	return RankParticipantPartyCtx(context.Background(), q, addrs, me, profile, opts)
+}
+
+// RankParticipantPartyCtx is RankParticipantParty under caller-supplied
+// cancellation; opts.Timeout (default 2 minutes) composes with ctx and
+// also bounds each blocking receive on the TCP mesh.
+func RankParticipantPartyCtx(ctx context.Context, q *Questionnaire, addrs []string, me int, profile Profile, opts Options) (*ParticipantResult, error) {
+	params, o, err := rankPartyParams(q, addrs, opts)
+	if err != nil {
+		return nil, err
+	}
+	if me < 1 || me > params.N {
+		return nil, fmt.Errorf("groupranking: participant index %d outside [1, %d] (index 0 is the initiator)", me, params.N)
+	}
+	rng := partyRNG(o.Seed, core.ParticipantSeed(o.Seed, me))
+	var out core.ParticipantOutput
+	res, err := runRankParty(ctx, params, o, addrs, me, func(ctx context.Context, net transport.Net) error {
+		out, err = core.RunParticipantCtx(ctx, params, me, q, profile, net, rng)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ParticipantResult{Rank: out.Rank, BytesOnWire: res.BytesOnWire, Rounds: res.Rounds}, nil
+}
+
+// rankPartyParams resolves the shared options into the framework
+// parameters a mesh of len(addrs) endpoints (initiator + n
+// participants) agrees on.
+func rankPartyParams(q *Questionnaire, addrs []string, opts Options) (core.Params, Options, error) {
+	if q == nil {
+		return core.Params{}, opts, fmt.Errorf("groupranking: missing questionnaire")
+	}
+	n := len(addrs) - 1
+	if n < 2 {
+		return core.Params{}, opts, fmt.Errorf("groupranking: need the initiator plus at least two participants, got %d addresses", len(addrs))
+	}
+	o, err := opts.withDefaults(n)
+	if err != nil {
+		return core.Params{}, o, err
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = defaultPartyTimeout
+	}
+	g, err := group.ByName(o.GroupName)
+	if err != nil {
+		return core.Params{}, o, err
+	}
+	params := core.Params{
+		N: n, M: q.M(), T: q.T(),
+		D1: o.D1, D2: o.D2, H: o.H, K: o.K,
+		Group: g, Sorter: o.Sorter, SkipProofs: o.SkipProofs,
+		ProveDecryption: o.ProveDecryption, Workers: o.Workers,
+	}
+	if err := params.Validate(); err != nil {
+		return params, o, err
+	}
+	return params, o, nil
+}
+
+// partyRNG picks this party's randomness source: the in-process
+// harness's seed derivation when a seed is set (so seed-fixed
+// distributed runs match Rank exactly), crypto/rand otherwise.
+func partyRNG(seed, derived string) io.Reader {
+	if seed == "" {
+		return rand.Reader
+	}
+	return fixedbig.NewDRBG(derived)
+}
+
+// runRankParty is the shared deployment harness: it registers the wire
+// types, joins the TCP mesh as endpoint me, threads observability and
+// fault injection through, runs the session-establishment handshake and
+// then this party's role, and reports the endpoint's transport
+// statistics.
+func runRankParty(ctx context.Context, params core.Params, o Options, addrs []string, me int, role func(context.Context, transport.Net) error) (*ParticipantResult, error) {
+	core.RegisterWire()
+	fab, err := transport.NewTCPFabric(addrs, me, o.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer fab.Close()
+	ctx, cancel := context.WithTimeout(ctx, o.Timeout)
+	defer cancel()
+	if o.Observer != nil {
+		ctx = obsv.WithRegistry(ctx, o.Observer)
+		ctx = obsv.WithParty(ctx, o.Observer.Party(me))
+	}
+	var net transport.Net = fab
+	if o.Faults != nil {
+		net = transport.NewFaultNet(fab, *o.Faults)
+	}
+	if err := core.EstablishSessionCtx(ctx, params, me, net); err != nil {
+		return nil, err
+	}
+	if err := role(ctx, net); err != nil {
+		return nil, transport.EnsureAbort(err, -1, "framework")
+	}
+	stats := fab.Stats()
+	return &ParticipantResult{BytesOnWire: stats.TotalBytes(), Rounds: stats.DistinctRounds}, nil
+}

@@ -3,7 +3,6 @@ package groupranking
 import (
 	"context"
 	"crypto/rand"
-	"encoding/hex"
 	"fmt"
 	"io"
 	"math/big"
@@ -39,6 +38,18 @@ type SortOptions struct {
 	Workers int
 }
 
+// SortResult is the outcome of an in-process sorting run with the same
+// transport statistics Result reports for the full framework.
+type SortResult struct {
+	// Ranks holds each party's rank (1 = largest; equal values share a
+	// rank).
+	Ranks []int
+	// BytesOnWire is the total traffic across all parties.
+	BytesOnWire int64
+	// Rounds is the number of distinct communication rounds used.
+	Rounds int
+}
+
 // UnlinkableSort runs the paper's identity-unlinkable multiparty sorting
 // protocol over the given values, one in-process party per value, and
 // returns each party's rank (1 = largest; equal values share a rank).
@@ -48,30 +59,30 @@ type SortOptions struct {
 // honest party's value to its identity as long as that party's rank
 // stays hidden.
 func UnlinkableSort(values []uint64, opts SortOptions) ([]int, error) {
-	if len(values) < 2 {
-		return nil, fmt.Errorf("groupranking: need at least two values, got %d", len(values))
+	res, err := UnlinkableSortCtx(context.Background(), values, opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.GroupName == "" {
-		opts.GroupName = "secp160r1"
+	return res.Ranks, nil
+}
+
+// UnlinkableSortStats is UnlinkableSort with the transport statistics
+// the framework's Result exposes: total bytes on the wire and distinct
+// communication rounds.
+func UnlinkableSortStats(values []uint64, opts SortOptions) (*SortResult, error) {
+	return UnlinkableSortCtx(context.Background(), values, opts)
+}
+
+// UnlinkableSortCtx is the context form of UnlinkableSort, returning
+// the full SortResult. The run aborts cleanly when ctx is done;
+// opts.Timeout, when set, composes with ctx — whichever deadline
+// expires first wins.
+func UnlinkableSortCtx(ctx context.Context, values []uint64, opts SortOptions) (*SortResult, error) {
+	o, err := opts.withDefaults(values)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Bits == 0 {
-		for _, v := range values {
-			if b := big.NewInt(0).SetUint64(v).BitLen(); b > opts.Bits {
-				opts.Bits = b
-			}
-		}
-		if opts.Bits == 0 {
-			opts.Bits = 1
-		}
-	}
-	if opts.Seed == "" {
-		var raw [16]byte
-		if _, err := rand.Read(raw[:]); err != nil {
-			return nil, fmt.Errorf("groupranking: drawing seed: %w", err)
-		}
-		opts.Seed = hex.EncodeToString(raw[:])
-	}
-	g, err := group.ByName(opts.GroupName)
+	g, err := group.ByName(o.GroupName)
 	if err != nil {
 		return nil, err
 	}
@@ -79,13 +90,13 @@ func UnlinkableSort(values []uint64, opts SortOptions) ([]int, error) {
 	for i, v := range values {
 		betas[i] = new(big.Int).SetUint64(v)
 	}
-	ctx := obsv.WithRegistry(context.Background(), opts.Observer)
-	if opts.Timeout > 0 {
+	ctx = obsv.WithRegistry(ctx, o.Observer)
+	if o.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
 	}
-	results, _, err := unlinksort.RunCtx(ctx, unlinksort.Config{Group: g, L: opts.Bits, Workers: opts.Workers}, betas, opts.Seed, nil)
+	results, fab, err := unlinksort.RunCtx(ctx, unlinksort.Config{Group: g, L: o.Bits, Workers: o.Workers}, betas, o.Seed, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +104,12 @@ func UnlinkableSort(values []uint64, opts SortOptions) ([]int, error) {
 	for i, r := range results {
 		ranks[i] = r.Rank
 	}
-	return ranks, nil
+	stats := fab.Stats()
+	return &SortResult{
+		Ranks:       ranks,
+		BytesOnWire: stats.TotalBytes(),
+		Rounds:      stats.DistinctRounds,
+	}, nil
 }
 
 // UnlinkableSortParty runs one party of the identity-unlinkable sorting
@@ -103,39 +119,40 @@ func UnlinkableSort(values []uint64, opts SortOptions) ([]int, error) {
 // must agree on opts.Bits (it is required here: unlike UnlinkableSort,
 // no single process sees all values to derive a width from) and call
 // concurrently. This is the deployment entry point for the paper's
-// fully distributed setting.
+// standalone sorting primitive; RankParticipantParty is its counterpart
+// for the full framework.
 func UnlinkableSortParty(addrs []string, me int, value uint64, opts SortOptions) (int, error) {
-	if opts.Bits <= 0 {
-		return 0, fmt.Errorf("groupranking: distributed sorting requires an agreed Bits value")
+	return UnlinkableSortPartyCtx(context.Background(), addrs, me, value, opts)
+}
+
+// UnlinkableSortPartyCtx is UnlinkableSortParty under caller-supplied
+// cancellation; opts.Timeout (default 2 minutes) composes with ctx.
+func UnlinkableSortPartyCtx(ctx context.Context, addrs []string, me int, value uint64, opts SortOptions) (int, error) {
+	o, err := opts.withPartyDefaults()
+	if err != nil {
+		return 0, err
 	}
-	if opts.GroupName == "" {
-		opts.GroupName = "secp160r1"
-	}
-	g, err := group.ByName(opts.GroupName)
+	g, err := group.ByName(o.GroupName)
 	if err != nil {
 		return 0, err
 	}
 	unlinksort.RegisterWire()
-	timeout := opts.Timeout
-	if timeout <= 0 {
-		timeout = 2 * time.Minute
-	}
-	fab, err := transport.NewTCPFabric(addrs, me, timeout)
+	fab, err := transport.NewTCPFabric(addrs, me, o.Timeout)
 	if err != nil {
 		return 0, err
 	}
 	defer fab.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, o.Timeout)
 	defer cancel()
-	if opts.Observer != nil {
-		ctx = obsv.WithRegistry(ctx, opts.Observer)
-		ctx = obsv.WithParty(ctx, opts.Observer.Party(me))
+	if o.Observer != nil {
+		ctx = obsv.WithRegistry(ctx, o.Observer)
+		ctx = obsv.WithParty(ctx, o.Observer.Party(me))
 	}
 	var rng io.Reader = rand.Reader
-	if opts.Seed != "" {
-		rng = fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", opts.Seed, me))
+	if o.Seed != "" {
+		rng = fixedbig.NewDRBG(fmt.Sprintf("%s-party-%d", o.Seed, me))
 	}
-	res, err := unlinksort.PartyCtx(ctx, unlinksort.Config{Group: g, L: opts.Bits, Workers: opts.Workers}, me, fab,
+	res, err := unlinksort.PartyCtx(ctx, unlinksort.Config{Group: g, L: o.Bits, Workers: o.Workers}, me, fab,
 		new(big.Int).SetUint64(value), rng)
 	if err != nil {
 		return 0, err
