@@ -7,7 +7,7 @@ GO ?= go
 # protocol party, fault-injection delays, TCP pumps, the lock-cheap
 # observability registry): these run under the race detector in short
 # mode as part of check.
-RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./cmd/rankparty/
+RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./internal/journal/ ./cmd/rankparty/
 
 .PHONY: check vet build test race race-full chaos bench bench-json bench-compare trace-demo demo-distributed clean
 
@@ -30,9 +30,10 @@ race:
 race-full:
 	$(GO) test -race $(RACE_PKGS) ./internal/chaos/
 
-# The randomized fault-injection suite at full schedule count.
+# The randomized fault-injection suite at full schedule count, plus the
+# kill-and-restart crash-recovery schedules, under the race detector.
 chaos:
-	$(GO) test -v -run 'TestChaos|TestCrash' ./internal/chaos/
+	$(GO) test -race -v -run 'TestChaos|TestCrash|TestRestart' ./internal/chaos/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -18,6 +18,13 @@
 //
 // The initiator prints the top-k submissions it received; each
 // participant prints only its own rank.
+//
+// With -journal DIR the party runs under the crash-recovery runtime:
+// the session is journaled durably, disconnected peers are redialed
+// instead of blamed immediately, and a killed process restarted with
+// the same flags resumes the in-flight session from its journal. The
+// -fault-* flags inject deterministic message faults into this party's
+// endpoint for chaos testing.
 package main
 
 import (
@@ -58,6 +65,19 @@ func run() int {
 		workers   = flag.Int("workers", 0, "goroutines for this party's crypto hot loops (0 = all CPUs, 1 = serial)")
 		traceFile = flag.String("trace", "", "write this party's JSONL span trace to this file (- for stderr); written even on abort")
 		metrics   = flag.Bool("metrics", false, "print this party's per-phase summary table to stderr")
+
+		journalDir = flag.String("journal", "", "enable crash recovery: journal the session durably into this directory; restart with the same flags to resume")
+		grace      = flag.Duration("grace", 0, "how long a disconnected peer may take to reconnect before it is blamed (default 15s; needs -journal)")
+		heartbeat  = flag.Duration("heartbeat", 0, "link heartbeat interval distinguishing slow peers from dead ones (default 250ms; needs -journal)")
+
+		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault-injection schedule (reproducible chaos)")
+		faultDrop    = flag.Float64("fault-drop", 0, "per-message drop probability [0, 1]")
+		faultDup     = flag.Float64("fault-dup", 0, "per-message duplication probability [0, 1]")
+		faultReorder = flag.Float64("fault-reorder", 0, "per-message reorder probability [0, 1]")
+		faultCorrupt = flag.Float64("fault-corrupt", 0, "per-message corruption probability [0, 1]")
+		faultDelay   = flag.Float64("fault-delay", 0, "per-message delay probability [0, 1]")
+		crashParty   = flag.Int("fault-crash-party", -1, "party index to crash (-1 = none; 0 = initiator)")
+		crashRound   = flag.Int("fault-crash-round", 0, "round at which the crashed party dies")
 	)
 	flag.Parse()
 
@@ -92,6 +112,27 @@ func run() int {
 		Seed:    *seed,
 		Timeout: *timeout,
 		Workers: *workers,
+	}
+	if *journalDir != "" {
+		opts.Recovery = &groupranking.RecoveryOptions{Dir: *journalDir, Grace: *grace, Heartbeat: *heartbeat}
+	} else if *grace != 0 || *heartbeat != 0 {
+		log.Print("-grace and -heartbeat need -journal (crash recovery is off without a journal directory)")
+		return 2
+	}
+	if *faultDrop > 0 || *faultDup > 0 || *faultReorder > 0 || *faultCorrupt > 0 ||
+		*faultDelay > 0 || *crashParty >= 0 {
+		plan := &groupranking.FaultPlan{
+			Seed:      *faultSeed,
+			Drop:      *faultDrop,
+			Duplicate: *faultDup,
+			Reorder:   *faultReorder,
+			Corrupt:   *faultCorrupt,
+			Delay:     *faultDelay,
+		}
+		if *crashParty >= 0 {
+			plan.Rules = append(plan.Rules, groupranking.CrashAt(*crashParty, *crashRound))
+		}
+		opts.Faults = plan
 	}
 	switch *sorter {
 	case "unlinkable":

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"groupranking/internal/core"
+	"groupranking/internal/leakcheck"
 	"groupranking/internal/transport"
 )
 
@@ -65,6 +66,7 @@ func TestFourProcessesComplete(t *testing.T) {
 	if testing.Short() {
 		t.Skip("process test skipped in short mode")
 	}
+	leakcheck.Check(t)
 	bin := buildBinary(t)
 	addrs, err := transport.FreeLoopbackAddrs(4)
 	if err != nil {
@@ -110,6 +112,7 @@ func TestSurvivorsAbortWhenParticipantKilled(t *testing.T) {
 	if testing.Short() {
 		t.Skip("process test skipped in short mode")
 	}
+	leakcheck.Check(t)
 	bin := buildBinary(t)
 	addrs, err := transport.FreeLoopbackAddrs(4)
 	if err != nil {

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"groupranking/internal/journal"
+	"groupranking/internal/leakcheck"
+	"groupranking/internal/transport"
+)
+
+// recoveryParty builds the command for one endpoint of a seed-fixed
+// mesh, optionally under the crash-recovery runtime (jdir != "").
+func recoveryParty(bin string, addrs []string, me int, group, jdir string) (*exec.Cmd, *bytes.Buffer) {
+	args := []string{
+		"-addrs", strings.Join(addrs, ","),
+		"-me", fmt.Sprint(me),
+		"-attrs", "age:eq,activity:gt",
+		"-k", "2", "-d1", "7", "-d2", "4", "-h", "6",
+		"-group", group,
+		"-seed", "rankparty-restart-test",
+		"-timeout", "120s",
+	}
+	if jdir != "" {
+		args = append(args, "-journal", jdir, "-grace", "45s")
+	}
+	profiles := []string{"30,50", "25,60", "45,90"}
+	if me == 0 {
+		args = append(args, "-values", "30,0", "-weights", "2,1")
+	} else {
+		args = append(args, "-values", profiles[me-1])
+	}
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	return cmd, &buf
+}
+
+// waitMidSort polls the victim's journal until a phase-2 (sort) message
+// appears — rounds [10, 1<<20) are the sort; round 1<<20 is the
+// submission — so the kill lands mid-sort, after real crypto has been
+// spent and before the session outcome exists.
+func waitMidSort(t *testing.T, jdir string, party int) {
+	t.Helper()
+	deadline := time.Now().Add(90 * time.Second)
+	pattern := filepath.Join(jdir, fmt.Sprintf("*-p%d.journal", party))
+	for time.Now().Before(deadline) {
+		files, _ := filepath.Glob(pattern)
+		for _, f := range files {
+			recs, err := journal.Scan(f)
+			if err != nil {
+				continue
+			}
+			for _, r := range recs {
+				if (r.Kind == journal.KindSent || r.Kind == journal.KindRecv) &&
+					r.Round >= 10 && r.Round < 1<<20 {
+					return
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("victim's journal never reached the sort phase")
+}
+
+// TestKillAndRestartMidSort is the crash-recovery acceptance test at
+// the process level, on both a DL and an EC group: a participant is
+// SIGKILLed mid-sort and restarted with the same flags and journal
+// directory; every process must exit zero and every line of output —
+// ranks, submissions, even the initiator's byte/round counts — must be
+// byte-identical to the fault-free run without recovery enabled.
+func TestKillAndRestartMidSort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test skipped in short mode")
+	}
+	leakcheck.Check(t)
+	bin := buildBinary(t)
+	for _, group := range []string{"toy-dl-256", "secp160r1"} {
+		group := group
+		t.Run(group, func(t *testing.T) {
+			// Fault-free baseline, recovery off: the reference output.
+			baseline := runRestartMesh(t, bin, group, "", -1)
+
+			// Recovery run: same seed, fresh ports, journals on; kill
+			// participant 2 mid-sort and restart it.
+			const victim = 2
+			recovered := runRestartMesh(t, bin, group, t.TempDir(), victim)
+
+			for me := 0; me < 4; me++ {
+				if !bytes.Equal(recovered[me], baseline[me]) {
+					t.Errorf("party %d output diverged from the fault-free run\n got: %q\nwant: %q",
+						me, recovered[me], baseline[me])
+				}
+			}
+		})
+	}
+}
+
+// runRestartMesh runs one full 4-process session and returns each
+// party's output. With victim ≥ 0 (requires jdir) that party is killed
+// mid-sort and restarted with identical flags.
+func runRestartMesh(t *testing.T, bin, group, jdir string, victim int) [][]byte {
+	t.Helper()
+	addrs, err := transport.FreeLoopbackAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := make([]*exec.Cmd, 4)
+	bufs := make([]*bytes.Buffer, 4)
+	for me := 0; me < 4; me++ {
+		cmds[me], bufs[me] = recoveryParty(bin, addrs, me, group, jdir)
+		if err := cmds[me].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, c := range cmds {
+			if c != nil && c.Process != nil {
+				c.Process.Kill()
+			}
+		}
+	})
+
+	if victim >= 0 {
+		waitMidSort(t, jdir, victim)
+		if err := cmds[victim].Process.Kill(); err != nil {
+			t.Fatalf("killing victim: %v", err)
+		}
+		cmds[victim].Wait() // reap the corpse; the exit error is the kill
+		firstLife := bufs[victim].String()
+		if strings.Contains(firstLife, "ranks #") {
+			t.Fatalf("victim finished before the kill: %q", firstLife)
+		}
+		// The restarted process: byte-for-byte the same invocation.
+		cmds[victim], bufs[victim] = recoveryParty(bin, addrs, victim, group, jdir)
+		if err := cmds[victim].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	outs := make([][]byte, 4)
+	var wg sync.WaitGroup
+	for me := 0; me < 4; me++ {
+		me := me
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmds[me].Wait()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(150 * time.Second):
+		t.Fatal("session hung")
+	}
+	for me := 0; me < 4; me++ {
+		outs[me] = bufs[me].Bytes()
+		if code := cmds[me].ProcessState.ExitCode(); code != 0 {
+			t.Fatalf("party %d exited %d: %s", me, code, outs[me])
+		}
+	}
+	return outs
+}

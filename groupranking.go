@@ -134,6 +134,38 @@ type Options struct {
 	// Randomness is drawn serially regardless, so rankings, transcripts
 	// and operation counts are identical at every setting.
 	Workers int
+	// Recovery, when non-nil, enables the crash-recovery runtime for the
+	// distributed party entry points (RankInitiatorParty /
+	// RankParticipantParty): the party journals the session durably,
+	// rides out peer disconnects by reconnecting, and — restarted with
+	// the same flags and journal directory — resumes an in-flight
+	// session instead of forcing a full abort. Nil (the default) keeps
+	// the fail-fast transport; in-process runs ignore it entirely.
+	Recovery *RecoveryOptions
+}
+
+// RecoveryOptions configures the crash-recovery runtime of a
+// distributed party. With recovery enabled the party appends every
+// pinned parameter, its resolved seed, and every protocol message it
+// sends or receives to an append-only checksummed journal in Dir; a
+// crashed process restarted with the same flags replays its
+// deterministic computation against that journal and rejoins the live
+// session at the first un-journaled message. Peers meanwhile buffer
+// undelivered traffic, redial with backoff, and only abort with blame
+// once a disconnected party has overstayed Grace (and always by
+// Options.Timeout).
+type RecoveryOptions struct {
+	// Dir is the journal directory (required). Each party of each
+	// session writes one file, named after the session fingerprint and
+	// party index; restarting with the same Dir and flags resumes it.
+	Dir string
+	// Grace is how long a disconnected peer may take to reconnect
+	// before survivors blame it and abort (default 15s). Options.Timeout
+	// still bounds every receive regardless.
+	Grace time.Duration
+	// Heartbeat is the link heartbeat interval that lets survivors tell
+	// slow from dead (default 250ms; negative disables).
+	Heartbeat time.Duration
 }
 
 // FaultPlan describes a deterministic fault-injection schedule; see

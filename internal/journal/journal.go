@@ -1,0 +1,444 @@
+// Package journal is the durable write-ahead log of the crash-recovery
+// runtime: one append-only, checksummed file per party per session that
+// records the pinned session identity, the party's drawn seed, every
+// restart (epoch), and every round-tagged protocol message the party
+// sent or received. Because all of a party's randomness is pre-drawn
+// from its seed (the framework's transcripts are byte-identical given
+// the seed), the journal plus the seed is a complete recovery image: a
+// restarted process re-derives its computation deterministically,
+// serves every journaled receive without touching the network, and
+// resumes live at the first un-journaled message.
+//
+// Records are framed as length ‖ CRC32 ‖ gob(Record). A crash can tear
+// the final record mid-write; Open detects the torn tail (short frame
+// or checksum mismatch) and truncates back to the last intact record,
+// so the journal is always consistent up to the most recent completed
+// append. Appends are flushed to the OS before returning — a killed
+// process loses nothing it acted on — and Sync forces them to stable
+// storage for machine-crash durability.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"groupranking/internal/transport"
+)
+
+// Kind discriminates journal records.
+type Kind uint8
+
+// Record kinds.
+const (
+	// KindSession pins the session identity (Data holds the
+	// fingerprint). It must be the first record of every journal;
+	// reopening with a different fingerprint fails, so a journal can
+	// never be replayed into the wrong session.
+	KindSession Kind = iota + 1
+	// KindSeed records the party's resolved seed so a restart with an
+	// empty -seed flag re-derives the same randomness.
+	KindSeed
+	// KindEpoch marks one process (re)start; the epoch number is the
+	// count of these records and is carried in the reconnect handshake.
+	KindEpoch
+	// KindSent records one protocol message this party sent (Peer = to).
+	KindSent
+	// KindRecv records one protocol message this party received and
+	// acted on (Peer = from). It is appended before the receive is
+	// acknowledged to the sender, so an un-journaled message is always
+	// still retransmittable.
+	KindRecv
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSession:
+		return "session"
+	case KindSeed:
+		return "seed"
+	case KindEpoch:
+		return "epoch"
+	case KindSent:
+		return "sent"
+	case KindRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one journal entry. Sent/recv records carry the message's
+// transport coordinates plus its gob-encoded payload; the other kinds
+// use Data (session fingerprint, seed) or Seq (epoch number) alone.
+type Record struct {
+	Kind  Kind
+	Peer  int    // sent: destination; recv: source
+	Round int    // protocol round tag
+	Seq   uint64 // per-link sequence number (epoch records: epoch)
+	Bytes int    // nominal wire bytes, preserved for exact stats replay
+	Data  []byte // gob payload (sent/recv), fingerprint (session), seed
+}
+
+// fileMagic guards against feeding an arbitrary file to Open.
+var fileMagic = []byte("GRJL1\n")
+
+// Journal is an open per-party session journal. All methods are safe
+// for concurrent use (the transport's reader pumps append receives
+// while the protocol goroutine appends sends).
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	closed bool
+
+	fingerprint []byte
+	seed        string
+	epoch       int
+	sent        map[int][]Record // per peer, in append order
+	recv        map[int][]Record
+}
+
+// SessionPath names the journal file for one party of one session
+// inside dir. Distinct sessions and parties never share a file.
+func SessionPath(dir, sessionID string, party int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-p%d.journal", sessionID, party))
+}
+
+// Open creates the journal at path, or reopens an existing one and
+// replays its records into memory. A torn final record (crash mid-
+// append) is truncated away; corruption before the tail is an error.
+func Open(path string) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating directory: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	j := &Journal{
+		f:    f,
+		path: path,
+		sent: make(map[int][]Record),
+		recv: make(map[int][]Record),
+	}
+	if err := j.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// load replays the file into memory, writing the magic into an empty
+// file and truncating a torn tail.
+func (j *Journal) load() error {
+	info, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() == 0 {
+		if _, err := j.f.Write(fileMagic); err != nil {
+			return fmt.Errorf("journal: writing header: %w", err)
+		}
+		return nil
+	}
+	r := bufio.NewReader(io.NewSectionReader(j.f, 0, info.Size()))
+	head := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, head); err != nil || !bytes.Equal(head, fileMagic) {
+		return fmt.Errorf("journal: %s is not a session journal", j.path)
+	}
+	good := int64(len(fileMagic))
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A torn or checksum-failed frame at the tail is the signature
+			// of a crash mid-append: drop it and resume from the last
+			// intact record. (Anything after a torn frame is unframeable,
+			// so truncation at the first bad record is the only safe cut.)
+			if terr := j.f.Truncate(good); terr != nil {
+				return fmt.Errorf("journal: truncating torn tail: %v (after %v)", terr, err)
+			}
+			break
+		}
+		good += int64(n)
+		j.apply(rec)
+	}
+	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// apply folds one record into the in-memory state.
+func (j *Journal) apply(rec Record) {
+	switch rec.Kind {
+	case KindSession:
+		j.fingerprint = rec.Data
+	case KindSeed:
+		j.seed = string(rec.Data)
+	case KindEpoch:
+		j.epoch = int(rec.Seq)
+	case KindSent:
+		j.sent[rec.Peer] = append(j.sent[rec.Peer], rec)
+	case KindRecv:
+		j.recv[rec.Peer] = append(j.recv[rec.Peer], rec)
+	}
+}
+
+// readRecord decodes one length ‖ crc ‖ body frame, returning the frame
+// size. Any short read or checksum mismatch is an error (the caller
+// decides whether it is a truncatable tail).
+func readRecord(r io.Reader) (Record, int, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Record{}, 0, io.EOF // clean end
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Record{}, 0, fmt.Errorf("journal: torn frame header")
+	}
+	size := binary.LittleEndian.Uint32(hdr[:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if size > 1<<30 {
+		return Record{}, 0, fmt.Errorf("journal: implausible record size %d", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Record{}, 0, fmt.Errorf("journal: torn record body")
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return Record{}, 0, fmt.Errorf("journal: record checksum mismatch")
+	}
+	var rec Record
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
+		return Record{}, 0, fmt.Errorf("journal: undecodable record: %w", err)
+	}
+	return rec, 8 + int(size), nil
+}
+
+// append frames, writes and flushes one record under the lock.
+func (j *Journal) append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(rec)
+}
+
+func (j *Journal) appendLocked(rec Record) error {
+	if j.closed {
+		return fmt.Errorf("journal: %s is closed", j.path)
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(body.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body.Bytes()))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal: appending: %w", err)
+	}
+	if _, err := j.w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("journal: appending: %w", err)
+	}
+	// Flush to the OS on every append: a SIGKILL'd process then loses at
+	// most the record being written (which Open truncates away), never
+	// one it already acted on.
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: flushing: %w", err)
+	}
+	j.apply(rec)
+	return nil
+}
+
+// PinSession records the session fingerprint on first open and verifies
+// it on every reopen, so a journal cannot be resumed with different
+// flags, addresses or parameters than the session it belongs to.
+func (j *Journal) PinSession(fingerprint []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.fingerprint == nil {
+		return j.appendLocked(Record{Kind: KindSession, Data: append([]byte(nil), fingerprint...)})
+	}
+	if !bytes.Equal(j.fingerprint, fingerprint) {
+		return fmt.Errorf("journal: %s belongs to a different session (was this party restarted with different flags?)", j.path)
+	}
+	return nil
+}
+
+// SessionSeed resolves the party's seed against the journal: the first
+// run records the given (drawn or explicit) seed; a restart returns the
+// journaled one, so recovery works even when the operator never chose a
+// seed. An explicit seed that contradicts the journal is an error.
+func (j *Journal) SessionSeed(seed string) (string, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seed != "" {
+		if seed != "" && seed != j.seed {
+			return "", fmt.Errorf("journal: %s was started with a different seed", j.path)
+		}
+		return j.seed, nil
+	}
+	if seed == "" {
+		return "", fmt.Errorf("journal: refusing to journal an empty seed")
+	}
+	return seed, j.appendLocked(Record{Kind: KindSeed, Data: []byte(seed)})
+}
+
+// BeginEpoch marks one process start and returns the new epoch number
+// (1 on the first run). The reconnect handshake carries it so peers can
+// tell a restarted party from a stale connection.
+func (j *Journal) BeginEpoch() (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	next := j.epoch + 1
+	if err := j.appendLocked(Record{Kind: KindEpoch, Seq: uint64(next)}); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Epoch returns the current epoch (0 before any BeginEpoch).
+func (j *Journal) Epoch() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// LogSend implements transport.Journaler: it durably records one sent
+// message (write-ahead: the transport journals before the first wire
+// write, so a crash can never lose a message peers might be owed).
+func (j *Journal) LogSend(peer, round, bytes int, seq uint64, payload any) error {
+	data, err := encodePayload(payload)
+	if err != nil {
+		return err
+	}
+	return j.append(Record{Kind: KindSent, Peer: peer, Round: round, Seq: seq, Bytes: bytes, Data: data})
+}
+
+// LogRecv implements transport.Journaler: it durably records one
+// received message before the transport acknowledges it, so every
+// acknowledged message survives a crash of the receiver.
+func (j *Journal) LogRecv(peer, round, bytes int, seq uint64, payload any) error {
+	data, err := encodePayload(payload)
+	if err != nil {
+		return err
+	}
+	return j.append(Record{Kind: KindRecv, Peer: peer, Round: round, Seq: seq, Bytes: bytes, Data: data})
+}
+
+// SentTo implements transport.Journaler: the messages this party
+// journaled to peer, in send order, decoded and ready to retransmit.
+func (j *Journal) SentTo(peer int) ([]transport.JournalMsg, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return decodeMsgs(j.sent[peer])
+}
+
+// RecvFrom implements transport.Journaler: the messages this party
+// journaled from peer, in receive order, served to the restarted
+// protocol before any live traffic.
+func (j *Journal) RecvFrom(peer int) ([]transport.JournalMsg, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return decodeMsgs(j.recv[peer])
+}
+
+func decodeMsgs(recs []Record) ([]transport.JournalMsg, error) {
+	out := make([]transport.JournalMsg, len(recs))
+	for i, rec := range recs {
+		payload, err := decodePayload(rec.Data)
+		if err != nil {
+			return nil, fmt.Errorf("journal: decoding journaled message (round %d, seq %d): %w", rec.Round, rec.Seq, err)
+		}
+		out[i] = transport.JournalMsg{Round: rec.Round, Seq: rec.Seq, Bytes: rec.Bytes, Payload: payload}
+	}
+	return out, nil
+}
+
+// Sync forces all appended records to stable storage (fsync). Appends
+// already survive process death; Sync extends that to machine crashes.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: %s is closed", j.path)
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close flushes and closes the file. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// Scan reads every intact record from a journal file without opening it
+// for writing — the tooling and test view. A torn tail is skipped, not
+// an error, so Scan is safe on a journal another process is appending.
+func Scan(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	head := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, head); err != nil || !bytes.Equal(head, fileMagic) {
+		return nil, fmt.Errorf("journal: %s is not a session journal", path)
+	}
+	var recs []Record
+	for {
+		rec, _, err := readRecord(r)
+		if err != nil {
+			break // io.EOF, torn tail, or in-flight append: return what's intact
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// encodePayload gobs an arbitrary payload as an interface value, so
+// decodePayload can return it as `any` (the payload's concrete type
+// must be gob-registered, e.g. via core.RegisterWire).
+func encodePayload(p any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, fmt.Errorf("journal: encoding payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePayload(b []byte) (any, error) {
+	var p any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

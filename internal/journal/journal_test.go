@@ -1,0 +1,321 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"groupranking/internal/transport"
+)
+
+func open(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return j
+}
+
+// TestRoundTrip covers the full first-run-then-restart lifecycle: pin,
+// seed, epoch, message appends, close, reopen, replay.
+func TestRoundTrip(t *testing.T) {
+	path := SessionPath(t.TempDir(), "sess", 1)
+	j := open(t, path)
+	if err := j.PinSession([]byte("fingerprint-1")); err != nil {
+		t.Fatalf("PinSession: %v", err)
+	}
+	seed, err := j.SessionSeed("demo-seed")
+	if err != nil || seed != "demo-seed" {
+		t.Fatalf("SessionSeed: %q, %v", seed, err)
+	}
+	if ep, err := j.BeginEpoch(); err != nil || ep != 1 {
+		t.Fatalf("BeginEpoch: %d, %v", ep, err)
+	}
+	if err := j.LogSend(0, 3, 40, 0, "hello"); err != nil {
+		t.Fatalf("LogSend: %v", err)
+	}
+	if err := j.LogSend(0, 4, 41, 1, "world"); err != nil {
+		t.Fatalf("LogSend: %v", err)
+	}
+	if err := j.LogRecv(2, 5, 42, 0, 99); err != nil {
+		t.Fatalf("LogRecv: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// The restarted process sees everything back.
+	j2 := open(t, path)
+	defer j2.Close()
+	if err := j2.PinSession([]byte("fingerprint-1")); err != nil {
+		t.Fatalf("PinSession on reopen: %v", err)
+	}
+	// Empty seed on restart resolves to the journaled one.
+	if seed, err := j2.SessionSeed(""); err != nil || seed != "demo-seed" {
+		t.Fatalf("SessionSeed on reopen: %q, %v", seed, err)
+	}
+	if ep := j2.Epoch(); ep != 1 {
+		t.Fatalf("Epoch on reopen: %d, want 1", ep)
+	}
+	if ep, err := j2.BeginEpoch(); err != nil || ep != 2 {
+		t.Fatalf("BeginEpoch on reopen: %d, %v", ep, err)
+	}
+	sent, err := j2.SentTo(0)
+	if err != nil {
+		t.Fatalf("SentTo: %v", err)
+	}
+	want := []transport.JournalMsg{
+		{Round: 3, Seq: 0, Bytes: 40, Payload: "hello"},
+		{Round: 4, Seq: 1, Bytes: 41, Payload: "world"},
+	}
+	if len(sent) != len(want) {
+		t.Fatalf("SentTo(0): %d messages, want %d", len(sent), len(want))
+	}
+	for i, m := range sent {
+		if m != want[i] {
+			t.Errorf("SentTo(0)[%d] = %+v, want %+v", i, m, want[i])
+		}
+	}
+	recv, err := j2.RecvFrom(2)
+	if err != nil {
+		t.Fatalf("RecvFrom: %v", err)
+	}
+	if len(recv) != 1 || recv[0].Payload != 99 || recv[0].Round != 5 {
+		t.Fatalf("RecvFrom(2) = %+v", recv)
+	}
+	if s, err := j2.SentTo(2); err != nil || len(s) != 0 {
+		t.Fatalf("SentTo(2) = %v, %v; want empty", s, err)
+	}
+}
+
+// TestTornTail simulates a crash mid-append: trailing garbage and a
+// half-written frame must be truncated away on reopen, keeping every
+// intact record.
+func TestTornTail(t *testing.T) {
+	for name, tail := range map[string][]byte{
+		"short header":   {0x50},
+		"truncated body": {0xff, 0x00, 0x00, 0x00, 0x12, 0x34, 0x56, 0x78, 0x01, 0x02},
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := SessionPath(t.TempDir(), "torn", 0)
+			j := open(t, path)
+			if err := j.PinSession([]byte("fp")); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := j.LogSend(1, i, 10, uint64(i), "msg"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			j2 := open(t, path)
+			defer j2.Close()
+			sent, err := j2.SentTo(1)
+			if err != nil {
+				t.Fatalf("SentTo after torn tail: %v", err)
+			}
+			if len(sent) != 3 {
+				t.Fatalf("got %d intact sends, want 3", len(sent))
+			}
+			// The tail is gone for good: appending works and a further
+			// reopen sees four records.
+			if err := j2.LogSend(1, 9, 10, 3, "after"); err != nil {
+				t.Fatalf("append after truncation: %v", err)
+			}
+			j2.Close()
+			j3 := open(t, path)
+			defer j3.Close()
+			if sent, _ := j3.SentTo(1); len(sent) != 4 {
+				t.Fatalf("got %d sends after recovery append, want 4", len(sent))
+			}
+		})
+	}
+}
+
+// TestCorruptTailTruncated flips a byte in the final record: the
+// checksum catches it and the record is dropped.
+func TestCorruptTailTruncated(t *testing.T) {
+	path := SessionPath(t.TempDir(), "corrupt", 0)
+	j := open(t, path)
+	for i := 0; i < 2; i++ {
+		if err := j.LogSend(1, i, 10, uint64(i), "msg"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := open(t, path)
+	defer j2.Close()
+	if sent, _ := j2.SentTo(1); len(sent) != 1 {
+		t.Fatalf("got %d sends after corrupt tail, want 1", len(sent))
+	}
+}
+
+// TestPinSessionMismatch: a journal can never be resumed into a
+// different session (changed flags change the fingerprint).
+func TestPinSessionMismatch(t *testing.T) {
+	path := SessionPath(t.TempDir(), "pin", 0)
+	j := open(t, path)
+	if err := j.PinSession([]byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2 := open(t, path)
+	defer j2.Close()
+	if err := j2.PinSession([]byte("different")); err == nil {
+		t.Fatal("PinSession accepted a different fingerprint")
+	}
+}
+
+// TestSessionSeed covers seed resolution: explicit conflicts fail,
+// empty first runs fail, restarts inherit.
+func TestSessionSeed(t *testing.T) {
+	path := SessionPath(t.TempDir(), "seed", 0)
+	j := open(t, path)
+	if _, err := j.SessionSeed(""); err == nil {
+		t.Fatal("empty seed on a fresh journal must fail")
+	}
+	if _, err := j.SessionSeed("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	// Same explicit seed is fine; a different one is not.
+	if s, err := j.SessionSeed("alpha"); err != nil || s != "alpha" {
+		t.Fatalf("re-resolving same seed: %q, %v", s, err)
+	}
+	if _, err := j.SessionSeed("beta"); err == nil {
+		t.Fatal("conflicting explicit seed must fail")
+	}
+	j.Close()
+}
+
+// TestOpenRejectsForeignFile: Open must not wade into a file that is
+// not a journal.
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-journal")
+	if err := os.WriteFile(path, []byte("something else entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "not a session journal") {
+		t.Fatalf("Open on foreign file: %v", err)
+	}
+}
+
+// TestScan reads records without write access and tolerates a torn
+// tail, so tests can watch a live journal from outside the process.
+func TestScan(t *testing.T) {
+	path := SessionPath(t.TempDir(), "scan", 2)
+	j := open(t, path)
+	j.PinSession([]byte("fp"))
+	j.BeginEpoch()
+	j.LogSend(0, 7, 10, 0, "x")
+	j.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	f.Write([]byte{0x01, 0x02}) // torn tail
+	f.Close()
+
+	recs, err := Scan(path)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	kinds := make([]Kind, len(recs))
+	for i, r := range recs {
+		kinds[i] = r.Kind
+	}
+	want := []Kind{KindSession, KindEpoch, KindSent}
+	if len(kinds) != len(want) {
+		t.Fatalf("Scan kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("Scan kinds = %v, want %v", kinds, want)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	// Scan on a missing file surfaces the os error.
+	if _, err := Scan(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Scan(missing): %v", err)
+	}
+}
+
+// TestAppendAfterClose: appends to a closed journal fail loudly rather
+// than writing to a closed file.
+func TestAppendAfterClose(t *testing.T) {
+	j := open(t, SessionPath(t.TempDir(), "closed", 0))
+	j.Close()
+	if err := j.LogSend(1, 0, 10, 0, "late"); err == nil {
+		t.Fatal("LogSend after Close must fail")
+	}
+	if err := j.Sync(); err == nil {
+		t.Fatal("Sync after Close must fail")
+	}
+}
+
+// TestConcurrentAppend: the transport's reader pumps journal receives
+// while the protocol goroutine journals sends; both must be safe.
+func TestConcurrentAppend(t *testing.T) {
+	path := SessionPath(t.TempDir(), "conc", 0)
+	j := open(t, path)
+	done := make(chan error, 2)
+	go func() {
+		for i := 0; i < 200; i++ {
+			if err := j.LogSend(1, i, 8, uint64(i), "s"); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < 200; i++ {
+			if err := j.LogRecv(2, i, 8, uint64(i), "r"); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	j2 := open(t, path)
+	defer j2.Close()
+	sent, _ := j2.SentTo(1)
+	recv, _ := j2.RecvFrom(2)
+	if len(sent) != 200 || len(recv) != 200 {
+		t.Fatalf("got %d sends / %d recvs, want 200/200", len(sent), len(recv))
+	}
+	for i, m := range sent {
+		if m.Seq != uint64(i) {
+			t.Fatalf("send order broken at %d: seq %d", i, m.Seq)
+		}
+	}
+}

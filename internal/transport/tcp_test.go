@@ -1,11 +1,15 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
+
+	"groupranking/internal/leakcheck"
 )
 
 type wirePayload struct {
@@ -208,4 +212,48 @@ func TestFreeLoopbackAddrs(t *testing.T) {
 		}
 	}
 	_ = fmt.Sprintf("%v", addrs)
+}
+
+// TestTCPCloseIdempotentAndGoroutineClean pins the teardown contract the
+// abort paths rely on: Close may be called repeatedly and concurrently —
+// including while receives are in flight — and when the dust settles no
+// reader pump survives and pending receives have failed with ErrClosed
+// rather than hanging.
+func TestTCPCloseIdempotentAndGoroutineClean(t *testing.T) {
+	leakcheck.Check(t)
+	fabrics := buildMesh(t, 3)
+
+	recvDone := make(chan error, 1)
+	go func() {
+		_, err := fabrics[0].RecvCtx(context.Background(), 0, 1, 7)
+		recvDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the receive block
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fabrics[0].Close()
+		}()
+	}
+	wg.Wait()
+	fabrics[0].Close() // and once more after the storm
+
+	select {
+	case err := <-recvDone:
+		if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrPeerDown) {
+			t.Errorf("in-flight receive got %v, want ErrClosed or ErrPeerDown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight receive hung through Close")
+	}
+	// Sends into a closed endpoint must error, not panic or hang.
+	if err := fabrics[0].Send(7, 0, 1, 1, wirePayload{From: 0, Text: "late"}); err == nil {
+		t.Error("send after Close succeeded")
+	}
+	for _, f := range fabrics[1:] {
+		f.Close()
+	}
 }

@@ -3,12 +3,16 @@ package groupranking
 import (
 	"context"
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"strings"
 
 	"groupranking/internal/core"
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/group"
+	"groupranking/internal/journal"
 	"groupranking/internal/obsv"
 	"groupranking/internal/transport"
 )
@@ -77,10 +81,14 @@ func RankInitiatorPartyCtx(ctx context.Context, q *Questionnaire, criterion Crit
 	if err != nil {
 		return nil, err
 	}
+	rec, err := setupRecovery(params, &o, addrs, 0, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
 	rng := partyRNG(o.Seed, core.InitiatorSeed(o.Seed))
 	subs := []Submission(nil)
 	var flagged []int
-	res, err := runRankParty(ctx, params, o, addrs, 0, func(ctx context.Context, net transport.Net) error {
+	res, err := runRankParty(ctx, params, o, addrs, 0, rec, func(ctx context.Context, net transport.Net) error {
 		subs, flagged, err = core.RunInitiatorCtx(ctx, params, q, criterion, net, rng)
 		return err
 	})
@@ -112,9 +120,13 @@ func RankParticipantPartyCtx(ctx context.Context, q *Questionnaire, addrs []stri
 	if me < 1 || me > params.N {
 		return nil, fmt.Errorf("groupranking: participant index %d outside [1, %d] (index 0 is the initiator)", me, params.N)
 	}
+	rec, err := setupRecovery(params, &o, addrs, me, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
 	rng := partyRNG(o.Seed, core.ParticipantSeed(o.Seed, me))
 	var out core.ParticipantOutput
-	res, err := runRankParty(ctx, params, o, addrs, me, func(ctx context.Context, net transport.Net) error {
+	res, err := runRankParty(ctx, params, o, addrs, me, rec, func(ctx context.Context, net transport.Net) error {
 		out, err = core.RunParticipantCtx(ctx, params, me, q, profile, net, rng)
 		return err
 	})
@@ -168,16 +180,118 @@ func partyRNG(seed, derived string) io.Reader {
 	return fixedbig.NewDRBG(derived)
 }
 
-// runRankParty is the shared deployment harness: it registers the wire
-// types, joins the TCP mesh as endpoint me, threads observability and
-// fault injection through, runs the session-establishment handshake and
-// then this party's role, and reports the endpoint's transport
-// statistics.
-func runRankParty(ctx context.Context, params core.Params, o Options, addrs []string, me int, role func(context.Context, transport.Net) error) (*ParticipantResult, error) {
-	core.RegisterWire()
-	fab, err := transport.NewTCPFabric(addrs, me, o.Timeout)
+// recoverySession is one party's open crash-recovery state: its
+// durable journal, the derived session identity, and the epoch this
+// process runs as.
+type recoverySession struct {
+	journal   *journal.Journal
+	sessionID string
+	epoch     int
+}
+
+// sessionID derives the recovery session's identity from everything
+// the parties must agree on — the address list and the pinned protocol
+// parameters (the same facts the session-establishment round checks) —
+// but not the seeds, which are per-party secrets. Same flags ⇒ same ID,
+// so a restarted party finds its own journal; changed flags ⇒ a
+// different ID, so a stale journal can never leak into a new session.
+func sessionID(params core.Params, addrs []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "groupranking-session-v1|%s|n=%d m=%d t=%d d1=%d d2=%d h=%d k=%d|%s|%d|proofs=%t dec=%t",
+		strings.Join(addrs, ","),
+		params.N, params.M, params.T, params.D1, params.D2, params.H, params.K,
+		params.Group.Name(), params.Sorter, !params.SkipProofs, params.ProveDecryption)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// setupRecovery opens this party's journal when Options.Recovery is
+// set: it pins the session fingerprint (so mismatched flags fail
+// loudly), resolves the seed against the journal (so a restart with an
+// empty -seed still re-derives the first life's randomness — o.Seed is
+// updated in place), and begins a new epoch. Returns nil with recovery
+// disabled.
+func setupRecovery(params core.Params, o *Options, addrs []string, me int, rawSeed string) (*recoverySession, error) {
+	if o.Recovery == nil {
+		return nil, nil
+	}
+	if o.Recovery.Dir == "" {
+		return nil, fmt.Errorf("groupranking: Recovery.Dir must name a journal directory")
+	}
+	sid := sessionID(params, addrs)
+	j, err := journal.Open(journal.SessionPath(o.Recovery.Dir, sid, me))
 	if err != nil {
 		return nil, err
+	}
+	fail := func(err error) (*recoverySession, error) {
+		j.Close()
+		return nil, err
+	}
+	if err := j.PinSession([]byte(fmt.Sprintf("%s|party=%d", sid, me))); err != nil {
+		return fail(err)
+	}
+	seed, err := resolveRecoverySeed(j, rawSeed, o.Seed)
+	if err != nil {
+		return fail(err)
+	}
+	o.Seed = seed
+	epoch, err := j.BeginEpoch()
+	if err != nil {
+		return fail(err)
+	}
+	return &recoverySession{journal: j, sessionID: sid, epoch: epoch}, nil
+}
+
+// resolveRecoverySeed reconciles the operator's explicit seed (raw, as
+// passed in Options before defaulting), the freshly drawn one (drawn),
+// and the journal: an explicit seed must match the journal; with no
+// explicit seed a restart inherits the journaled seed and a first run
+// journals the drawn one.
+func resolveRecoverySeed(j *journal.Journal, raw, drawn string) (string, error) {
+	if raw == "" {
+		if s, err := j.SessionSeed(""); err == nil {
+			return s, nil // restart: the journaled seed wins
+		}
+		return j.SessionSeed(drawn) // first run: journal the drawn seed
+	}
+	return j.SessionSeed(raw)
+}
+
+// partyFabric is what the harness needs from either transport: the Net
+// itself plus endpoint statistics and teardown.
+type partyFabric interface {
+	transport.Net
+	Stats() transport.Stats
+	Close()
+}
+
+// runRankParty is the shared deployment harness: it registers the wire
+// types, joins the TCP mesh as endpoint me (the plain fail-fast fabric,
+// or the reconnecting journal-backed one when recovery is on), threads
+// observability and fault injection through, runs the
+// session-establishment handshake and then this party's role, and
+// reports the endpoint's transport statistics.
+func runRankParty(ctx context.Context, params core.Params, o Options, addrs []string, me int, rec *recoverySession, role func(context.Context, transport.Net) error) (*ParticipantResult, error) {
+	core.RegisterWire()
+	var fab partyFabric
+	if rec != nil {
+		defer rec.journal.Close()
+		rfab, err := transport.NewRecoveringTCPFabric(addrs, me, o.Timeout, transport.RecoverOptions{
+			SessionID: rec.sessionID,
+			Epoch:     rec.epoch,
+			Journal:   rec.journal,
+			Grace:     o.Recovery.Grace,
+			Heartbeat: o.Recovery.Heartbeat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fab = rfab
+	} else {
+		tfab, err := transport.NewTCPFabric(addrs, me, o.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		fab = tfab
 	}
 	defer fab.Close()
 	ctx, cancel := context.WithTimeout(ctx, o.Timeout)
@@ -195,6 +309,13 @@ func runRankParty(ctx context.Context, params core.Params, o Options, addrs []st
 	}
 	if err := role(ctx, net); err != nil {
 		return nil, transport.EnsureAbort(err, -1, "framework")
+	}
+	if rfab, ok := fab.(*transport.RecoveringTCPFabric); ok {
+		// This party is done, but a crashed peer may still need what we
+		// sent it: keep retransmitting until every peer has acknowledged
+		// everything or the blame window closes. Instant when all peers
+		// are alive and caught up.
+		rfab.Drain(0)
 	}
 	stats := fab.Stats()
 	return &ParticipantResult{BytesOnWire: stats.TotalBytes(), Rounds: stats.DistinctRounds}, nil
