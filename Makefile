@@ -7,14 +7,17 @@ GO ?= go
 # protocol party, fault-injection delays, TCP pumps, the lock-cheap
 # observability registry): these run under the race detector in short
 # mode as part of check.
-RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./internal/journal/ ./cmd/rankparty/
+RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./internal/journal/ ./internal/blame/ ./cmd/rankparty/
 
-.PHONY: check vet build test race race-full chaos bench bench-json bench-compare trace-demo demo-distributed clean
+.PHONY: check vet build test race race-full chaos chaos-byz bench bench-json bench-compare trace-demo demo-distributed clean
 
 check: vet build test race
 
+# staticcheck is optional tooling: run it when the developer has it
+# installed, stay silent (and green) when they do not.
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 
 build:
 	$(GO) build ./...
@@ -34,6 +37,12 @@ race-full:
 # kill-and-restart crash-recovery schedules, under the race detector.
 chaos:
 	$(GO) test -race -v -run 'TestChaos|TestCrash|TestRestart' ./internal/chaos/
+
+# The Byzantine suite alone: equivocators, ciphertext tamperers, proof
+# forgers and replayers across ~100 seeded schedules, under the race
+# detector, asserting no honest party is ever blamed.
+chaos-byz:
+	$(GO) test -race -v -run 'TestByz|TestSubView' ./internal/chaos/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

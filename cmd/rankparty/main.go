@@ -69,6 +69,7 @@ func run() int {
 		journalDir = flag.String("journal", "", "enable crash recovery: journal the session durably into this directory; restart with the same flags to resume")
 		grace      = flag.Duration("grace", 0, "how long a disconnected peer may take to reconnect before it is blamed (default 15s; needs -journal)")
 		heartbeat  = flag.Duration("heartbeat", 0, "link heartbeat interval distinguishing slow peers from dead ones (default 250ms; needs -journal)")
+		blameOut   = flag.String("blame-out", "", "on abort, write the blame certificate as JSON to this file (- for stderr) for offline verification")
 
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault-injection schedule (reproducible chaos)")
 		faultDrop    = flag.Float64("fault-drop", 0, "per-message drop probability [0, 1]")
@@ -78,8 +79,22 @@ func run() int {
 		faultDelay   = flag.Float64("fault-delay", 0, "per-message delay probability [0, 1]")
 		crashParty   = flag.Int("fault-crash-party", -1, "party index to crash (-1 = none; 0 = initiator)")
 		crashRound   = flag.Int("fault-crash-round", 0, "round at which the crashed party dies")
+		equivocate   = flag.Bool("fault-equivocate", false, "Byzantine demo: THIS party equivocates on its broadcasts (honest peers must abort and blame it)")
 	)
 	flag.Parse()
+
+	if *timeout < 0 {
+		log.Printf("-timeout %v is negative (0 means the default deadline)", *timeout)
+		return 2
+	}
+	if *grace < 0 {
+		log.Printf("-grace %v is negative (0 means the 15s default)", *grace)
+		return 2
+	}
+	if *heartbeat < 0 {
+		log.Printf("-heartbeat %v is negative (0 means the 250ms default)", *heartbeat)
+		return 2
+	}
 
 	addrs := strings.Split(*addrsFlag, ",")
 	if *addrsFlag == "" || len(addrs) < 3 {
@@ -120,7 +135,7 @@ func run() int {
 		return 2
 	}
 	if *faultDrop > 0 || *faultDup > 0 || *faultReorder > 0 || *faultCorrupt > 0 ||
-		*faultDelay > 0 || *crashParty >= 0 {
+		*faultDelay > 0 || *crashParty >= 0 || *equivocate {
 		plan := &groupranking.FaultPlan{
 			Seed:      *faultSeed,
 			Drop:      *faultDrop,
@@ -131,6 +146,15 @@ func run() int {
 		}
 		if *crashParty >= 0 {
 			plan.Rules = append(plan.Rules, groupranking.CrashAt(*crashParty, *crashRound))
+		}
+		if *equivocate {
+			// The fault net sits at this party's own endpoint, so the
+			// equivocation is injected into this party's outgoing
+			// broadcast legs — the honest peers' echo sub-round must
+			// catch it and blame this party.
+			plan.Rules = append(plan.Rules, groupranking.FaultRule{
+				Kind: transport.FaultEquivocate, Round: -1, From: *me, To: -1,
+			})
 		}
 		opts.Faults = plan
 	}
@@ -186,7 +210,7 @@ func run() int {
 		res, err := groupranking.RankInitiatorParty(q, crit, addrs, opts)
 		report()
 		if err != nil {
-			return fail(err, addrs)
+			return fail(err, addrs, *blameOut)
 		}
 		fmt.Printf("initiator: received %d top-%d submissions over %d rounds (%d bytes sent)\n",
 			len(res.Submissions), opts.K, res.Rounds, res.BytesOnWire)
@@ -208,7 +232,7 @@ func run() int {
 	res, err := groupranking.RankParticipantParty(q, addrs, *me, profile, opts)
 	report()
 	if err != nil {
-		return fail(err, addrs)
+		return fail(err, addrs, *blameOut)
 	}
 	fmt.Printf("party %d: my gain ranks #%d among %d participants (1 = best)\n", *me, res.Rank, len(addrs)-1)
 	if res.Rank <= opts.K {
@@ -217,8 +241,10 @@ func run() int {
 	return 0
 }
 
-// fail prints the abort protocol's diagnosis and returns the exit code.
-func fail(err error, addrs []string) int {
+// fail prints the abort protocol's diagnosis, writes the blame
+// certificate (when the abort carries one and -blame-out names a
+// destination), and returns the exit code.
+func fail(err error, addrs []string, blameOut string) int {
 	var abort *transport.AbortError
 	if errors.As(err, &abort) {
 		switch {
@@ -231,10 +257,43 @@ func fail(err error, addrs []string) int {
 		default:
 			log.Printf("aborting: %v", err)
 		}
+		writeBlame(err, blameOut)
 		return 1
 	}
 	log.Print(err)
 	return 1
+}
+
+// writeBlame serialises the abort's blame certificate for offline
+// verification (internal/blame confirms it with no access to this
+// process's protocol state).
+func writeBlame(err error, blameOut string) {
+	cert := transport.CertOf(err)
+	if cert == nil {
+		if blameOut != "" {
+			log.Print("no blame certificate to write (this abort carries no evidence)")
+		}
+		return
+	}
+	log.Printf("blame certificate: %s", cert)
+	if blameOut == "" {
+		return
+	}
+	data, merr := cert.MarshalJSON()
+	if merr != nil {
+		log.Printf("blame certificate: %v", merr)
+		return
+	}
+	data = append(data, '\n')
+	if blameOut == "-" {
+		os.Stderr.Write(data)
+		return
+	}
+	if werr := os.WriteFile(blameOut, data, 0o644); werr != nil {
+		log.Printf("blame certificate: %v", werr)
+		return
+	}
+	log.Printf("blame certificate written to %s", blameOut)
 }
 
 // parseAttrs builds the agreed questionnaire from name:kind entries

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"groupranking/internal/blame"
 	"groupranking/internal/core"
 	"groupranking/internal/leakcheck"
 	"groupranking/internal/transport"
@@ -35,7 +37,7 @@ type partyResult struct {
 // startParty builds the command for one endpoint of the demo mesh: the
 // initiator (me = 0) holds the criterion and weights, participants hold
 // a profile.
-func startParty(bin string, addrs []string, me int, timeout time.Duration) (*exec.Cmd, *bytes.Buffer) {
+func startParty(bin string, addrs []string, me int, timeout time.Duration, extra ...string) (*exec.Cmd, *bytes.Buffer) {
 	args := []string{
 		"-addrs", strings.Join(addrs, ","),
 		"-me", fmt.Sprint(me),
@@ -51,6 +53,7 @@ func startParty(bin string, addrs []string, me int, timeout time.Duration) (*exe
 	} else {
 		args = append(args, "-values", profiles[me-1])
 	}
+	args = append(args, extra...)
 	cmd := exec.Command(bin, args...)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
@@ -187,6 +190,68 @@ func TestSurvivorsAbortWhenParticipantKilled(t *testing.T) {
 	}
 }
 
+// TestEquivocatorBlamedAcrossProcesses is the README's active-adversary
+// demo as a test: party 1 runs with -fault-equivocate, so its own
+// endpoint sends conflicting broadcast payloads to different peers. The
+// honest processes must abort (never print a rank), name party 1, and
+// the initiator's -blame-out certificate must survive offline
+// verification while accusing party 1 — never an honest party.
+func TestEquivocatorBlamedAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test skipped in short mode")
+	}
+	leakcheck.Check(t)
+	bin := buildBinary(t)
+	addrs, err := transport.FreeLoopbackAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certFile := filepath.Join(t.TempDir(), "blame.json")
+	results := make([]partyResult, 4)
+	var wg sync.WaitGroup
+	for me := 0; me < 4; me++ {
+		me := me
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var extra []string
+			switch me {
+			case 0:
+				extra = []string{"-blame-out", certFile}
+			case 1:
+				extra = []string{"-fault-equivocate"}
+			}
+			cmd, buf := startParty(bin, addrs, me, 60*time.Second, extra...)
+			err := cmd.Run()
+			results[me] = partyResult{out: buf.Bytes(), err: err, code: cmd.ProcessState.ExitCode()}
+		}()
+	}
+	wg.Wait()
+	for me, r := range results {
+		if me == 1 {
+			continue // the cheater's own exit status is not part of the contract
+		}
+		if r.code == 0 {
+			t.Fatalf("honest party %d completed under an equivocating peer: %s", me, r.out)
+		}
+		out := string(r.out)
+		if strings.Contains(out, "ranks #") || strings.Contains(out, "submissions") {
+			t.Fatalf("honest party %d printed a result under attack: %s", me, out)
+		}
+	}
+	data, err := os.ReadFile(certFile)
+	if err != nil {
+		t.Fatalf("initiator wrote no blame certificate: %v\ninitiator output: %s", err, results[0].out)
+	}
+	cert, err := blame.VerifyJSON(data)
+	if err != nil {
+		t.Fatalf("blame certificate fails offline verification: %v\n%s", err, data)
+	}
+	if cert.Accused != 1 {
+		t.Fatalf("certificate accuses party %d, the equivocator is 1 — FALSE ACCUSATION\n%s", cert.Accused, data)
+	}
+}
+
 // TestUsageErrors pins the CLI's argument validation exit code.
 func TestUsageErrors(t *testing.T) {
 	if testing.Short() {
@@ -200,6 +265,9 @@ func TestUsageErrors(t *testing.T) {
 		{"-addrs", "a,b,c", "-me", "0", "-attrs", "age:weird", "-values", "1"},
 		{"-addrs", "a,b,c", "-me", "1", "-attrs", "eq", "-values", "1", "-weights", "2"},
 		{"-addrs", "a,b,c", "-me", "0", "-attrs", "eq", "-values", "1", "-weights", "2", "-sorter", "bogus"},
+		{"-addrs", "a,b,c", "-me", "0", "-attrs", "eq", "-values", "1", "-weights", "2", "-timeout", "-1s"},
+		{"-addrs", "a,b,c", "-me", "0", "-attrs", "eq", "-values", "1", "-weights", "2", "-grace", "-1s"},
+		{"-addrs", "a,b,c", "-me", "0", "-attrs", "eq", "-values", "1", "-weights", "2", "-heartbeat", "-5ms"},
 	}
 	for _, args := range cases {
 		cmd := exec.Command(bin, args...)

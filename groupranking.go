@@ -164,7 +164,8 @@ type RecoveryOptions struct {
 	// still bounds every receive regardless.
 	Grace time.Duration
 	// Heartbeat is the link heartbeat interval that lets survivors tell
-	// slow from dead (default 250ms; negative disables).
+	// slow from dead (default 250ms). Negative values are rejected at
+	// the entry point — a deployment must not run blind.
 	Heartbeat time.Duration
 }
 

@@ -62,6 +62,11 @@ func (k *killNet) RecvCtx(ctx context.Context, to, from, round int) (any, error)
 	return k.Net.RecvCtx(ctx, to, from, round)
 }
 
+// EchoRequired forwards the capability probe: a wrapper that hides it
+// would make the wrapped party silently skip echo sub-rounds the rest
+// of the mesh runs, desynchronising the session.
+func (k *killNet) EchoRequired() bool { return transport.NeedsEcho(k.Net) }
+
 // restartResult is one completed session's outcome, in comparable form.
 type restartResult struct {
 	mu      sync.Mutex

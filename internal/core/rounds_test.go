@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"groupranking/internal/transport"
+)
 
 // TestRoundTagBandsDisjoint is the SubView round-offset collision
 // regression test. The crash-recovery runtime journals and deduplicates
@@ -49,6 +53,12 @@ func TestRoundTagBandsDisjoint(t *testing.T) {
 			}
 			if stats.MaxRound != roundSubmission {
 				t.Errorf("max round %d, want the submission tag %d", stats.MaxRound, roundSubmission)
+			}
+			// The echo band (round + 1<<24) is derived per broadcast round,
+			// so every protocol tag must stay below it or an echo sub-round
+			// would collide with a protocol round.
+			if transport.IsEchoRound(stats.MaxRound) {
+				t.Errorf("max round %d reaches into the reserved echo band", stats.MaxRound)
 			}
 		})
 	}

@@ -120,10 +120,12 @@ func EstablishSessionCtx(ctx context.Context, params Params, me int, fab transpo
 	net := obsv.ObservedNet(fab, obs)
 	obs.Begin(PhaseSession)
 	mine := sessionFromParams(params)
-	if err := net.Broadcast(roundSession, me, mine.wireBytes(), mine); err != nil {
-		return transport.AnnotatePhase(err, PhaseSession)
-	}
-	all, err := net.GatherAllCtx(ctx, me, roundSession)
+	// Echo broadcast: on real fabrics the announcement is followed by a
+	// digest sub-round, so an initiator that tells different parties to
+	// run different protocols is identified instead of producing n
+	// mutually confusing mismatch aborts. In-process nets skip the echo
+	// entirely (one memory space cannot equivocate).
+	all, err := transport.EchoBroadcastCtx(ctx, net, me, roundSession, mine.wireBytes(), mine)
 	if err != nil {
 		return transport.AnnotatePhase(err, PhaseSession)
 	}

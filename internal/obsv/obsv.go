@@ -57,6 +57,8 @@ const (
 	OpFieldMul           // dot-product field multiplications
 	OpMsgSent            // messages sent
 	OpByteSent           // bytes sent
+	OpEchoMsgSent        // echo sub-round messages sent (consistency overhead)
+	OpEchoByteSent       // echo sub-round bytes sent
 	numOps
 )
 
@@ -67,6 +69,7 @@ var opNames = [numOps]string{
 	"ss_mul", "ss_open", "ss_round",
 	"field_mul",
 	"msgs_sent", "bytes_sent",
+	"echo_msgs_sent", "echo_bytes_sent",
 }
 
 // String returns the stable snake_case name used in exports.

@@ -250,12 +250,15 @@ func (e *Engine) OpenBatch(shares []Share) ([]*big.Int, error) {
 	for i, s := range shares {
 		mine[i] = s.y
 	}
-	if err := e.fab.Broadcast(round, e.me, len(shares)*e.fieldBytes(), mine); err != nil {
-		return nil, err
-	}
-	all, err := e.gather(round)
+	// Openings are broadcasts of share vectors (the opened-histogram
+	// rounds of the top-k framework ride on this): on real fabrics they
+	// run as echo broadcasts so a party feeding different shares to
+	// different peers — splitting the group over what a histogram
+	// contains — is identified instead of silently skewing the
+	// reconstruction. In-process runs skip the echo.
+	all, err := transport.EchoBroadcastCtx(e.ctx, e.fab, e.me, round, len(shares)*e.fieldBytes(), mine)
 	if err != nil {
-		return nil, err
+		return nil, transport.AnnotatePhase(err, "ssmpc")
 	}
 	cols, err := e.columns(all, mine, len(shares), "open")
 	if err != nil {

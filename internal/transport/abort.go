@@ -42,6 +42,10 @@ type AbortError struct {
 	// Cause is the underlying error (often one of the sentinels above,
 	// or context.Canceled / context.DeadlineExceeded).
 	Cause error
+	// Cert carries machine-verifiable cheating evidence when the abort
+	// identifies a misbehaving party (see BlameCert); nil for benign
+	// failures such as timeouts, crashes and cancellations.
+	Cert *BlameCert
 }
 
 // Error implements error.
@@ -69,6 +73,12 @@ func Abort(party, round int, phase string, cause error) *AbortError {
 	return &AbortError{Party: party, Phase: phase, Round: round, Cause: cause}
 }
 
+// WithCert attaches cheating evidence to the abort and returns it.
+func (e *AbortError) WithCert(c *BlameCert) *AbortError {
+	e.Cert = c
+	return e
+}
+
 // AnnotatePhase stamps the protocol phase onto err's AbortError if it
 // has none yet, and returns err unchanged otherwise. Protocol layers
 // call it at every receive site so aborts name the phase they happened
@@ -77,6 +87,9 @@ func AnnotatePhase(err error, phase string) error {
 	var ae *AbortError
 	if errors.As(err, &ae) && ae.Phase == "" {
 		ae.Phase = phase
+		if ae.Cert != nil && ae.Cert.Phase == "" {
+			ae.Cert.Phase = phase
+		}
 	}
 	return err
 }

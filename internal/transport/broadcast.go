@@ -1,0 +1,24 @@
+package transport
+
+// broadcastAll is the one shared implementation of best-effort
+// broadcast over pairwise channels: n−1 unicasts via send, every leg
+// attempted even when one fails, the first error returned after all
+// legs. The paper's model has no physical broadcast medium, so every
+// Net implements Broadcast through this helper (each supplies its own
+// send closure: the in-memory fabric and the TCP meshes a plain Send,
+// FaultNet a Send that faults each leg independently, SubView a Send
+// that translates indices). Keeping one copy means the consistency
+// layer built on top of broadcast (echo.go) has exactly one send path
+// to reason about.
+func broadcastAll(n, from int, send func(to int) error) error {
+	var firstErr error
+	for to := 0; to < n; to++ {
+		if to == from {
+			continue
+		}
+		if err := send(to); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"math/big"
+	"testing"
+)
+
+// The echo round compares digests computed by DIFFERENT processes: the
+// sender digests its in-memory value, receivers digest the gob-decoded
+// copy, and any representation drift between the two is reported as an
+// equivocation by an honest party. These tests pin the equivalences
+// the canonical digest must provide.
+
+type digestMsg struct {
+	A, B   int
+	Name   string
+	Shares []*big.Int
+	hidden int // unexported: skipped by gob and by the digest alike
+}
+
+type digestOther struct {
+	A, B   int
+	Name   string
+	Shares []*big.Int
+}
+
+// gobRoundTrip encodes v as an interface value and decodes it the way
+// a receiving fabric does.
+func gobRoundTrip(t *testing.T, v any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out any
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func mustDigest(t *testing.T, v any) []byte {
+	t.Helper()
+	d, err := PayloadDigest(v)
+	if err != nil {
+		t.Fatalf("PayloadDigest(%#v): %v", v, err)
+	}
+	return d
+}
+
+// TestPayloadDigestSurvivesGobRoundTrip: the receiver's decoded copy
+// must digest identically to the sender's original, including the two
+// representations gob does NOT round-trip byte-stably: a nil pointer
+// in a slice (decoded as an allocated zero) and a nil versus empty
+// slice.
+func TestPayloadDigestSurvivesGobRoundTrip(t *testing.T) {
+	gob.Register(digestMsg{})
+	cases := []any{
+		digestMsg{A: 1, B: -7, Name: "x", Shares: []*big.Int{big.NewInt(42), big.NewInt(0)}},
+		digestMsg{Shares: []*big.Int{nil, big.NewInt(9)}}, // nil decodes as allocated zero
+		digestMsg{},
+		digestMsg{Shares: []*big.Int{}}, // empty vs absent slice
+	}
+	for _, v := range cases {
+		want := mustDigest(t, v)
+		got := mustDigest(t, gobRoundTrip(t, v))
+		if !bytes.Equal(want, got) {
+			t.Errorf("digest of %#v changed across a gob round-trip:\n sent %x\n recv %x", v, want, got)
+		}
+	}
+}
+
+// TestPayloadDigestIndependentOfGobState: the digest must not change
+// when unrelated gob traffic happens first. Gob's wire type ids come
+// from a process-global counter, so hashing a gob stream bakes the
+// process's encode history into the digest — the regression this pins
+// was an honest party blamed for equivocation because the cheater's
+// fault injector had serialised one extra type before its first digest.
+func TestPayloadDigestIndependentOfGobState(t *testing.T) {
+	gob.Register(digestMsg{})
+	v := digestMsg{A: 3, Name: "stable", Shares: []*big.Int{big.NewInt(5)}}
+	before := mustDigest(t, v)
+
+	// Simulate a process whose transport serialised other types first.
+	type primer struct{ X, Y string }
+	gob.Register(primer{})
+	var noise any = primer{X: "shift", Y: "ids"}
+	if err := gob.NewEncoder(io.Discard).Encode(&noise); err != nil {
+		t.Fatal(err)
+	}
+
+	after := mustDigest(t, v)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("digest depends on gob encoder state: %x then %x", before, after)
+	}
+}
+
+// TestPayloadDigestDistinguishes: values that differ in a field, in a
+// concrete type, or in nesting must not collide.
+func TestPayloadDigestDistinguishes(t *testing.T) {
+	base := digestMsg{A: 1, B: 2, Name: "n", Shares: []*big.Int{big.NewInt(3)}}
+	distinct := []any{
+		base,
+		digestMsg{A: 2, B: 2, Name: "n", Shares: []*big.Int{big.NewInt(3)}},
+		digestMsg{A: 1, B: 2, Name: "m", Shares: []*big.Int{big.NewInt(3)}},
+		digestMsg{A: 1, B: 2, Name: "n", Shares: []*big.Int{big.NewInt(4)}},
+		digestMsg{A: 1, B: 2, Name: "n", Shares: []*big.Int{big.NewInt(3), big.NewInt(0)}},
+		digestOther{A: 1, B: 2, Name: "n", Shares: []*big.Int{big.NewInt(3)}}, // same shape, other type
+		[]byte("n"),
+		"n",
+	}
+	seen := map[string]any{}
+	for _, v := range distinct {
+		d := string(mustDigest(t, v))
+		if prev, dup := seen[d]; dup {
+			t.Errorf("digest collision between %#v and %#v", prev, v)
+		}
+		seen[d] = v
+	}
+}
+
+// TestPayloadDigestRejectsMaps: map iteration order is not canonical,
+// so digesting one must fail loudly instead of flaking.
+func TestPayloadDigestRejectsMaps(t *testing.T) {
+	if _, err := PayloadDigest(map[string]int{"a": 1}); err == nil {
+		t.Fatal("map digested without error")
+	}
+}

@@ -35,6 +35,22 @@ const (
 	// the rule's round onward fails with ErrCrashed, and the party is
 	// marked down on the underlying fabric so peers detect the crash.
 	FaultCrash
+	// FaultEquivocate turns the matching broadcast into an equivocation:
+	// at least one leg (and, seeded per leg, roughly half of them)
+	// carries a substituted payload while the rest carry the original —
+	// the adversarial sender behaviour only the echo sub-round can
+	// attribute. Rule-only (no probability field); rules must leave To
+	// at -1 since the fault targets the whole broadcast. Echo sub-round
+	// broadcasts are never equivocated: the blame model assumes faulty
+	// parties tamper with payloads, not with the echoes that convict
+	// them (forged echoes would need signatures to attribute; see
+	// DESIGN.md §3.6).
+	FaultEquivocate
+	// FaultReplayStale resends the previous message the link carried —
+	// stale round tag and all — in place of the matching message,
+	// modelling a replay attack; the receiver's round-tag check convicts
+	// the sender. A link with no earlier message delivers unchanged.
+	FaultReplayStale
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +70,10 @@ func (k FaultKind) String() string {
 		return "sever"
 	case FaultCrash:
 		return "crash"
+	case FaultEquivocate:
+		return "equivocate"
+	case FaultReplayStale:
+		return "replay-stale"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -120,11 +140,15 @@ type FaultPlan struct {
 // FaultCounts tallies the faults a FaultNet actually injected.
 type FaultCounts struct {
 	Drops, Delays, Duplicates, Reorders, Corrupts, Severs, Crashes int64
+	// Equivocations counts equivocated broadcasts (once per broadcast,
+	// not per tampered leg); Replays counts stale-round substitutions.
+	Equivocations, Replays int64
 }
 
 // Total sums all injected faults.
 func (c FaultCounts) Total() int64 {
-	return c.Drops + c.Delays + c.Duplicates + c.Reorders + c.Corrupts + c.Severs + c.Crashes
+	return c.Drops + c.Delays + c.Duplicates + c.Reorders + c.Corrupts + c.Severs + c.Crashes +
+		c.Equivocations + c.Replays
 }
 
 type linkKey struct{ from, to int }
@@ -147,6 +171,7 @@ type FaultNet struct {
 	seq     map[linkKey]uint64
 	severed map[linkKey]bool
 	held    map[linkKey]heldMsg
+	last    map[linkKey]heldMsg
 	crashed map[int]bool
 	counts  FaultCounts
 
@@ -166,6 +191,7 @@ func NewFaultNet(inner Net, plan FaultPlan) *FaultNet {
 		seq:     make(map[linkKey]uint64),
 		severed: make(map[linkKey]bool),
 		held:    make(map[linkKey]heldMsg),
+		last:    make(map[linkKey]heldMsg),
 		crashed: make(map[int]bool),
 	}
 }
@@ -193,6 +219,11 @@ func (f *FaultNet) u(kind FaultKind, round, from, to int, seq uint64) float64 {
 // decide picks the fault (if any) for one message.
 func (f *FaultNet) decide(round, from, to int, seq uint64) (FaultKind, bool) {
 	for _, r := range f.plan.Rules {
+		// Equivocation is a broadcast-level fault, applied in Broadcast
+		// before the per-leg sends; it must not fire again per leg.
+		if r.Kind == FaultEquivocate {
+			continue
+		}
 		if r.matches(round, from, to) {
 			return r.Kind, true
 		}
@@ -274,6 +305,14 @@ func (f *FaultNet) Send(round, from, to, bytes int, payload any) error {
 			f.counts.Corrupts++
 			payload = Corrupted{Round: round}
 			bytes = 1
+		case FaultReplayStale:
+			// Resend the link's previous message in place of this one;
+			// with no earlier message the send passes through unchanged
+			// (a replay needs something to replay).
+			if prev, ok := f.last[link]; ok {
+				f.counts.Replays++
+				round, bytes, payload = prev.round, prev.bytes, prev.payload
+			}
 		case FaultDuplicate:
 			f.counts.Duplicates++
 			after = append([]heldMsg{{round, bytes, payload}}, after...)
@@ -300,6 +339,10 @@ func (f *FaultNet) Send(round, from, to, bytes int, payload any) error {
 			return nil
 		}
 	}
+	// Remember the message about to go out in order, as replay fodder
+	// for FaultReplayStale (delayed/reordered messages are skipped: they
+	// leave Send before their delivery is decided).
+	f.last[link] = heldMsg{round, bytes, payload}
 	f.mu.Unlock()
 	if err := f.inner.Send(round, from, to, bytes, payload); err != nil {
 		return err
@@ -351,17 +394,36 @@ func (f *FaultNet) RecvCtx(ctx context.Context, to, from, round int) (any, error
 // faulted independently (a real broadcast over pairwise channels fails
 // per link, not atomically). The first error is returned after every
 // leg has been attempted.
+//
+// A matching FaultEquivocate rule turns the broadcast adversarial: the
+// first leg always carries the substituted payload (so every
+// equivocated broadcast really equivocates) and each later leg flips a
+// seeded coin, while the sender's own echo will still claim the
+// original — exactly the split the echo sub-round exists to catch.
 func (f *FaultNet) Broadcast(round, from, bytes int, payload any) error {
-	var firstErr error
-	for to := 0; to < f.N(); to++ {
-		if to == from {
-			continue
-		}
-		if err := f.Send(round, from, to, bytes, payload); err != nil && firstErr == nil {
-			firstErr = err
+	equivocate := false
+	if !IsEchoRound(round) {
+		for _, r := range f.plan.Rules {
+			if r.Kind == FaultEquivocate && r.matches(round, from, -1) {
+				equivocate = true
+				break
+			}
 		}
 	}
-	return firstErr
+	if equivocate {
+		f.mu.Lock()
+		f.counts.Equivocations++
+		f.mu.Unlock()
+	}
+	first := true
+	return broadcastAll(f.N(), from, func(to int) error {
+		p, b := payload, bytes
+		if equivocate && (first || f.u(FaultEquivocate, round, from, to, 0) < 0.5) {
+			p, b = Corrupted{Round: round}, bytes
+		}
+		first = false
+		return f.Send(round, from, to, b, p)
+	})
 }
 
 // GatherAll implements Net.

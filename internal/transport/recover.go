@@ -204,10 +204,12 @@ type RecoveringTCPFabric struct {
 	ln net.Listener
 
 	mu       sync.Mutex
-	msgs     int64
-	bytes    int64
-	maxRound int
-	rounds   map[int]RoundStats
+	msgs      int64
+	bytes     int64
+	maxRound  int
+	rounds    map[int]RoundStats
+	echoMsgs  int64
+	echoBytes int64
 
 	closeOnce sync.Once
 	closeCh   chan struct{}
@@ -747,16 +749,23 @@ func (f *RecoveringTCPFabric) Send(round, from, to, bytes int, payload any) erro
 	}
 	// Count every logical send — including replayed ones — so a
 	// restarted endpoint reports the same stats as a fault-free run.
+	// Echo sub-round traffic is consistency-layer overhead, tallied
+	// apart from the protocol counters.
 	f.mu.Lock()
-	f.msgs++
-	f.bytes += int64(bytes)
-	if round > f.maxRound {
-		f.maxRound = round
+	if IsEchoRound(round) {
+		f.echoMsgs++
+		f.echoBytes += int64(bytes)
+	} else {
+		f.msgs++
+		f.bytes += int64(bytes)
+		if round > f.maxRound {
+			f.maxRound = round
+		}
+		rs := f.rounds[round]
+		rs.Messages++
+		rs.Bytes += int64(bytes)
+		f.rounds[round] = rs
 	}
-	rs := f.rounds[round]
-	rs.Messages++
-	rs.Bytes += int64(bytes)
-	f.rounds[round] = rs
 	f.mu.Unlock()
 
 	l := f.links[to]
@@ -901,24 +910,16 @@ func (f *RecoveringTCPFabric) RecvCtx(ctx context.Context, to, from, round int) 
 
 func (f *RecoveringTCPFabric) acceptData(env renv, from, round int) (any, error) {
 	if round >= 0 && env.Round != round {
-		return nil, Abort(from, round, "",
-			fmt.Errorf("%w: got %d from party %d, want %d", ErrRoundMismatch, env.Round, from, round))
+		return nil, roundMismatchAbort(from, round, env.Round)
 	}
 	return env.Payload, nil
 }
 
 // Broadcast implements Net, best-effort like the other fabrics.
 func (f *RecoveringTCPFabric) Broadcast(round, from, bytes int, payload any) error {
-	var firstErr error
-	for to := 0; to < f.n; to++ {
-		if to == f.me {
-			continue
-		}
-		if err := f.Send(round, from, to, bytes, payload); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return broadcastAll(f.n, f.me, func(to int) error {
+		return f.Send(round, from, to, bytes, payload)
+	})
 }
 
 // GatherAll implements Net.
@@ -945,6 +946,8 @@ func (f *RecoveringTCPFabric) Stats() Stats {
 		MaxRound:       f.maxRound,
 		DistinctRounds: len(f.rounds),
 		PerRound:       make(map[int]RoundStats, len(f.rounds)),
+		EchoMessages:   f.echoMsgs,
+		EchoBytes:      f.echoBytes,
 	}
 	s.MessagesSent[f.me] = f.msgs
 	s.BytesSent[f.me] = f.bytes

@@ -120,16 +120,9 @@ func (s *SubView) RecvCtx(ctx context.Context, to, from, round int) (any, error)
 // Broadcast implements Net (n−1 best-effort unicasts within the view:
 // every leg is attempted, the first error returned after all legs).
 func (s *SubView) Broadcast(round, from, bytes int, payload any) error {
-	var firstErr error
-	for to := range s.members {
-		if to == from {
-			continue
-		}
-		if err := s.Send(round, from, to, bytes, payload); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return broadcastAll(len(s.members), from, func(to int) error {
+		return s.Send(round, from, to, bytes, payload)
+	})
 }
 
 // GatherAll implements Net.

@@ -36,10 +36,12 @@ type TCPFabric struct {
 	timeout time.Duration
 
 	mu       sync.Mutex
-	msgs     int64
-	bytes    int64
-	maxRound int
-	rounds   map[int]RoundStats
+	msgs      int64
+	bytes     int64
+	maxRound  int
+	rounds    map[int]RoundStats
+	echoMsgs  int64
+	echoBytes int64
 	recvErr  []error // first reader-pump error per peer
 
 	closeOnce sync.Once
@@ -247,15 +249,20 @@ func (f *TCPFabric) Send(round, from, to, bytes int, payload any) error {
 		return fmt.Errorf("transport: invalid destination %d", to)
 	}
 	f.mu.Lock()
-	f.msgs++
-	f.bytes += int64(bytes)
-	if round > f.maxRound {
-		f.maxRound = round
+	if IsEchoRound(round) {
+		f.echoMsgs++
+		f.echoBytes += int64(bytes)
+	} else {
+		f.msgs++
+		f.bytes += int64(bytes)
+		if round > f.maxRound {
+			f.maxRound = round
+		}
+		rs := f.rounds[round]
+		rs.Messages++
+		rs.Bytes += int64(bytes)
+		f.rounds[round] = rs
 	}
-	rs := f.rounds[round]
-	rs.Messages++
-	rs.Bytes += int64(bytes)
-	f.rounds[round] = rs
 	conn := f.conns[to]
 	f.mu.Unlock()
 
@@ -305,8 +312,7 @@ func (f *TCPFabric) RecvCtx(ctx context.Context, to, from, round int) (any, erro
 			return nil, f.peerDown(from, round)
 		}
 		if round >= 0 && env.Round != round {
-			return nil, Abort(from, round, "",
-				fmt.Errorf("%w: got %d from party %d, want %d", ErrRoundMismatch, env.Round, from, round))
+			return nil, roundMismatchAbort(from, round, env.Round)
 		}
 		return env.Payload, nil
 	case <-done:
@@ -338,16 +344,9 @@ func (f *TCPFabric) peerDown(from, round int) error {
 // message from the survivors (who could otherwise mis-attribute the
 // failure to this party). The first error is returned after all legs.
 func (f *TCPFabric) Broadcast(round, from, bytes int, payload any) error {
-	var firstErr error
-	for to := 0; to < f.n; to++ {
-		if to == f.me {
-			continue
-		}
-		if err := f.Send(round, from, to, bytes, payload); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return broadcastAll(f.n, f.me, func(to int) error {
+		return f.Send(round, from, to, bytes, payload)
+	})
 }
 
 // GatherAll implements Net.
@@ -372,6 +371,8 @@ func (f *TCPFabric) Stats() Stats {
 		MaxRound:       f.maxRound,
 		DistinctRounds: len(f.rounds),
 		PerRound:       make(map[int]RoundStats, len(f.rounds)),
+		EchoMessages:   f.echoMsgs,
+		EchoBytes:      f.echoBytes,
 	}
 	s.MessagesSent[f.me] = f.msgs
 	s.BytesSent[f.me] = f.bytes

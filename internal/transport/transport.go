@@ -51,6 +51,14 @@ type Stats struct {
 	// PerRound breaks traffic down by round tag, summed over the
 	// observed senders.
 	PerRound map[int]RoundStats
+	// EchoMessages/EchoBytes tally the consistency layer's echo
+	// sub-round traffic (round tags in the reserved echo band). Echo
+	// digests are transport overhead of the active-adversary hardening,
+	// not protocol traffic, so they are counted here and excluded from
+	// MessagesSent/BytesSent/PerRound — the protocol cost model and the
+	// bench snapshot stay comparable whether echoes run or not.
+	EchoMessages int64
+	EchoBytes    int64
 }
 
 // Option configures a Fabric.
@@ -98,12 +106,14 @@ type Fabric struct {
 	down     []chan struct{}
 	downOnce []sync.Once
 
-	mu       sync.Mutex
-	trace    []Event
-	msgs     []int64
-	bytes    []int64
-	maxRound int
-	rounds   map[int]RoundStats
+	mu        sync.Mutex
+	trace     []Event
+	msgs      []int64
+	bytes     []int64
+	maxRound  int
+	rounds    map[int]RoundStats
+	echoMsgs  int64
+	echoBytes int64
 }
 
 type message struct {
@@ -162,17 +172,25 @@ func (f *Fabric) Send(round, from, to, bytes int, payload any) error {
 	}
 	ev := Event{Round: round, From: from, To: to, Bytes: bytes}
 	f.mu.Lock()
-	f.msgs[from]++
-	f.bytes[from] += int64(bytes)
-	if round > f.maxRound {
-		f.maxRound = round
-	}
-	rs := f.rounds[round]
-	rs.Messages++
-	rs.Bytes += int64(bytes)
-	f.rounds[round] = rs
-	if !f.traceOff {
-		f.trace = append(f.trace, ev)
+	if IsEchoRound(round) {
+		// Echo digests are consistency-layer overhead: tallied apart so
+		// the protocol counters (and the trace netsim replays) match a
+		// semi-honest run exactly.
+		f.echoMsgs++
+		f.echoBytes += int64(bytes)
+	} else {
+		f.msgs[from]++
+		f.bytes[from] += int64(bytes)
+		if round > f.maxRound {
+			f.maxRound = round
+		}
+		rs := f.rounds[round]
+		rs.Messages++
+		rs.Bytes += int64(bytes)
+		f.rounds[round] = rs
+		if !f.traceOff {
+			f.trace = append(f.trace, ev)
+		}
 	}
 	dropped := f.drop != nil && f.drop(ev)
 	f.mu.Unlock()
@@ -243,10 +261,28 @@ func (f *Fabric) RecvCtx(ctx context.Context, to, from, round int) (any, error) 
 
 func (f *Fabric) accept(m message, from, round int) (any, error) {
 	if round >= 0 && m.round != round {
-		return nil, Abort(from, round, "",
-			fmt.Errorf("%w: got %d from party %d, want %d", ErrRoundMismatch, m.round, from, round))
+		return nil, roundMismatchAbort(from, round, m.round)
 	}
 	return m.payload, nil
+}
+
+// roundMismatchAbort is the shared typed abort for a message arriving
+// with the wrong round tag. The stream was shifted — by a dropped,
+// duplicated or reordered message, or by a sender replaying a stale
+// round — so the abort names the sender and carries a CheckRoundReplay
+// certificate recording the expected and observed tags.
+func roundMismatchAbort(from, want, got int) error {
+	return Abort(from, want, "",
+		fmt.Errorf("%w: got %d from party %d, want %d", ErrRoundMismatch, got, from, want)).
+		WithCert(&BlameCert{
+			Version: BlameCertVersion, Accused: from, Reporter: -1,
+			Round: want, Check: CheckRoundReplay,
+			Detail: fmt.Sprintf("message from party %d carried round tag %d where %d was expected", from, got, want),
+			Items: []BlameItem{
+				{Name: "round-want", Data: []byte(fmt.Sprintf("%d", want))},
+				{Name: "round-got", Data: []byte(fmt.Sprintf("%d", got))},
+			},
+		})
 }
 
 // Broadcast sends the same payload from one party to every other party,
@@ -256,16 +292,9 @@ func (f *Fabric) accept(m message, from, round int) (any, error) {
 // returned after all legs, so one full queue or dead peer does not keep
 // the message from the other parties.
 func (f *Fabric) Broadcast(round, from, bytes int, payload any) error {
-	var firstErr error
-	for to := 0; to < f.n; to++ {
-		if to == from {
-			continue
-		}
-		if err := f.Send(round, from, to, bytes, payload); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return broadcastAll(f.n, from, func(to int) error {
+		return f.Send(round, from, to, bytes, payload)
+	})
 }
 
 // GatherAll receives one message from every other party, returned as a
@@ -306,6 +335,8 @@ func (f *Fabric) Stats() Stats {
 		MaxRound:       f.maxRound,
 		DistinctRounds: len(f.rounds),
 		PerRound:       make(map[int]RoundStats, len(f.rounds)),
+		EchoMessages:   f.echoMsgs,
+		EchoBytes:      f.echoBytes,
 	}
 	copy(s.MessagesSent, f.msgs)
 	copy(s.BytesSent, f.bytes)

@@ -97,6 +97,11 @@ type Config struct {
 	// bit-identical at every worker count: all randomness is pre-drawn
 	// serially in the reference draw order, workers get pure arithmetic.
 	Workers int
+	// Byz makes one party deviate from the protocol (see ByzBehavior).
+	// It exists ONLY for the Byzantine chaos suite and robustness tests,
+	// which assert that every deviation ends in a blame certificate
+	// accusing the deviating party. Never set in a deployment.
+	Byz *Byz
 }
 
 func (c Config) validate() error {
@@ -289,12 +294,13 @@ func keyPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int, f
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if err := fab.Broadcast(roundPublishKeys, me, g.ElementLen(), key.Y); err != nil {
-		return nil, nil, nil, transport.AnnotatePhase(err, "keygen")
-	}
-	received, err := fab.GatherAllCtx(ctx, me, roundPublishKeys)
+	// Key shares go out as a consistent broadcast: on real fabrics the
+	// echo sub-round catches an initiator announcing different shares to
+	// different parties (which would give each victim a different joint
+	// key); in-process fabrics skip the echo entirely.
+	received, err := transport.EchoBroadcastCtx(ctx, fab, me, roundPublishKeys, g.ElementLen(), key.Y)
 	if err != nil {
-		return nil, nil, nil, transport.AnnotatePhase(err, "keygen")
+		return nil, nil, nil, transport.AnnotatePhase(err, PhaseKeygen)
 	}
 	ys := make([]group.Element, n)
 	for j := 0; j < n; j++ {
@@ -304,14 +310,16 @@ func keyPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int, f
 		}
 		y, ok := received[j].(group.Element)
 		if !ok {
-			return nil, nil, nil, fmt.Errorf("unlinksort: party %d sent a malformed key share", j)
+			return nil, nil, nil, malformedAbort(j, me, roundPublishKeys, PhaseKeygen,
+				fmt.Sprintf("a malformed key share (%T)", received[j]), "group element")
 		}
 		// Gob decoding reconstructs raw coordinates without a group
 		// context; membership MUST be checked here, or an off-curve key
 		// share mounts an invalid-curve attack through the joint key.
 		if err := group.Validate(g, y); err != nil {
-			return nil, nil, nil, transport.EnsureAbort(
-				fmt.Errorf("unlinksort: party %d sent an invalid key share: %w", j, err), j, PhaseKeygen)
+			return nil, nil, nil, transport.Abort(j, roundPublishKeys, PhaseKeygen,
+				fmt.Errorf("unlinksort: party %d sent an invalid key share: %w", j, err)).
+				WithCert(certInvalidElement(g, j, me, roundPublishKeys, PhaseKeygen, y))
 		}
 		ys[j] = y
 	}
@@ -333,36 +341,37 @@ func proofPhase(ctx context.Context, cfg Config, me int, fab transport.Net, key 
 	n := fab.N()
 	scalarBytes := (g.Order().BitLen() + 7) / 8
 
+	// All three proof rounds are consistent broadcasts: the proof is only
+	// sound against all verifiers at once if every verifier saw the same
+	// commitment, challenge vector and response.
 	prover := zkp.NewProver(g, key.X)
 	h, err := prover.Commit(rng)
 	if err != nil {
 		return err
 	}
-	if err := fab.Broadcast(roundProofCommit, me, g.ElementLen(), h); err != nil {
-		return transport.AnnotatePhase(err, "key-proof")
-	}
-	commits, err := fab.GatherAllCtx(ctx, me, roundProofCommit)
+	commits, err := transport.EchoBroadcastCtx(ctx, fab, me, roundProofCommit, g.ElementLen(), h)
 	if err != nil {
-		return transport.AnnotatePhase(err, "key-proof")
+		return transport.AnnotatePhase(err, PhaseKeyProof)
 	}
 
 	// One challenge share per foreign prover, broadcast as a slice
-	// indexed by prover.
+	// indexed by prover. The self slot is never read (no party
+	// challenges itself); an explicit zero keeps the wire value free of
+	// nil pointers (the echo digest would normalise a nil to the same
+	// zero, but a receiver decodes an allocated zero anyway).
 	myChallenges := make([]*big.Int, n)
 	for j := 0; j < n; j++ {
 		if j == me {
+			myChallenges[j] = big.NewInt(0)
 			continue
 		}
 		if myChallenges[j], err = zkp.NewChallenge(g, rng); err != nil {
 			return err
 		}
 	}
-	if err := fab.Broadcast(roundProofChallenge, me, (n-1)*scalarBytes, myChallenges); err != nil {
-		return transport.AnnotatePhase(err, "key-proof")
-	}
-	challengeMsgs, err := fab.GatherAllCtx(ctx, me, roundProofChallenge)
+	challengeMsgs, err := transport.EchoBroadcastCtx(ctx, fab, me, roundProofChallenge, (n-1)*scalarBytes, myChallenges)
 	if err != nil {
-		return transport.AnnotatePhase(err, "key-proof")
+		return transport.AnnotatePhase(err, PhaseKeyProof)
 	}
 	// Challenges addressed to me, one from each verifier.
 	toMe := make([]*big.Int, 0, n-1)
@@ -372,7 +381,8 @@ func proofPhase(ctx context.Context, cfg Config, me int, fab transport.Net, key 
 		}
 		cs, ok := challengeMsgs[j].([]*big.Int)
 		if !ok || len(cs) != n || cs[me] == nil {
-			return fmt.Errorf("unlinksort: party %d sent malformed challenges", j)
+			return malformedAbort(j, me, roundProofChallenge, PhaseKeyProof,
+				"a malformed challenge vector", fmt.Sprintf("%d challenge scalars", n-1))
 		}
 		toMe = append(toMe, cs[me])
 	}
@@ -380,12 +390,14 @@ func proofPhase(ctx context.Context, cfg Config, me int, fab transport.Net, key 
 	if err != nil {
 		return err
 	}
-	if err := fab.Broadcast(roundProofResponse, me, scalarBytes, z); err != nil {
-		return transport.AnnotatePhase(err, "key-proof")
+	if cfg.byzFor(me) == ByzBadKeyProof {
+		// Covert deviation: the perturbed response fails verification at
+		// every honest verifier, which must pin the blame on this party.
+		z = new(big.Int).Add(z, big.NewInt(1))
 	}
-	responses, err := fab.GatherAllCtx(ctx, me, roundProofResponse)
+	responses, err := transport.EchoBroadcastCtx(ctx, fab, me, roundProofResponse, scalarBytes, z)
 	if err != nil {
-		return transport.AnnotatePhase(err, "key-proof")
+		return transport.AnnotatePhase(err, PhaseKeyProof)
 	}
 
 	// Verify every foreign proof against the challenge shares all
@@ -396,15 +408,18 @@ func proofPhase(ctx context.Context, cfg Config, me int, fab transport.Net, key 
 		}
 		hj, ok := commits[j].(group.Element)
 		if !ok {
-			return fmt.Errorf("unlinksort: party %d sent a malformed proof commitment", j)
+			return malformedAbort(j, me, roundProofCommit, PhaseKeyProof,
+				fmt.Sprintf("a malformed proof commitment (%T)", commits[j]), "group element")
 		}
 		if err := group.Validate(g, hj); err != nil {
-			return transport.EnsureAbort(
-				fmt.Errorf("unlinksort: party %d sent an invalid proof commitment: %w", j, err), j, PhaseKeyProof)
+			return transport.Abort(j, roundProofCommit, PhaseKeyProof,
+				fmt.Errorf("unlinksort: party %d sent an invalid proof commitment: %w", j, err)).
+				WithCert(certInvalidElement(g, j, me, roundProofCommit, PhaseKeyProof, hj))
 		}
 		zj, ok := responses[j].(*big.Int)
 		if !ok {
-			return fmt.Errorf("unlinksort: party %d sent a malformed proof response", j)
+			return malformedAbort(j, me, roundProofResponse, PhaseKeyProof,
+				fmt.Sprintf("a malformed proof response (%T)", responses[j]), "scalar")
 		}
 		var chalForJ []*big.Int
 		for v := 0; v < n; v++ {
@@ -417,12 +432,15 @@ func proofPhase(ctx context.Context, cfg Config, me int, fab transport.Net, key 
 			}
 			cs, ok := challengeMsgs[v].([]*big.Int)
 			if !ok || len(cs) != n || cs[j] == nil {
-				return fmt.Errorf("unlinksort: party %d sent malformed challenges", v)
+				return malformedAbort(v, me, roundProofChallenge, PhaseKeyProof,
+					"a malformed challenge vector", fmt.Sprintf("%d challenge scalars", n-1))
 			}
 			chalForJ = append(chalForJ, cs[j])
 		}
 		if !zkp.Verify(cfg.Group, ys[j], hj, chalForJ, zj) {
-			return fmt.Errorf("unlinksort: party %d failed the key-knowledge proof", j)
+			return transport.Abort(j, roundProofResponse, PhaseKeyProof,
+				fmt.Errorf("unlinksort: party %d failed the key-knowledge proof", j)).
+				WithCert(certKeyProof(g, j, me, ys[j], hj, chalForJ, zj))
 		}
 	}
 	return nil
@@ -452,12 +470,13 @@ func publishBits(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int
 	}); err != nil {
 		return nil, nil, transport.AnnotatePhase(err, "publish-bits")
 	}
-	if err := fab.Broadcast(roundPublishBits, me, cfg.L*scheme.EncodedLen(), bitsMsg{Cts: mine}); err != nil {
-		return nil, nil, transport.AnnotatePhase(err, "publish-bits")
-	}
-	gathered, err := fab.GatherAllCtx(ctx, me, roundPublishBits)
+	// The bit vectors feed every party's comparison circuit: a consistent
+	// broadcast stops a cheater from giving different parties different
+	// encryptions of its value (which would let it occupy a different
+	// rank in each victim's view).
+	gathered, err := transport.EchoBroadcastCtx(ctx, fab, me, roundPublishBits, cfg.L*scheme.EncodedLen(), bitsMsg{Cts: mine})
 	if err != nil {
-		return nil, nil, transport.AnnotatePhase(err, "publish-bits")
+		return nil, nil, transport.AnnotatePhase(err, PhasePublishBits)
 	}
 	theirs := make([][]elgamal.Ciphertext, n)
 	for j := 0; j < n; j++ {
@@ -466,7 +485,8 @@ func publishBits(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int
 		}
 		msg, ok := gathered[j].(bitsMsg)
 		if !ok || len(msg.Cts) != cfg.L {
-			return nil, nil, fmt.Errorf("unlinksort: party %d sent a malformed bit vector", j)
+			return nil, nil, malformedAbort(j, me, roundPublishBits, PhasePublishBits,
+				"a malformed bit vector", fmt.Sprintf("%d ciphertexts", cfg.L))
 		}
 		if err := validateSet(cfg.Group, j, msg.Cts); err != nil {
 			return nil, nil, err
@@ -605,39 +625,34 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 	ctBytes := scheme.EncodedLen()
 
 	// Owners anchor their sets (ProveDecryption) and hand them to P_0.
+	// The anchor exchange is a consistent broadcast — the anchors are the
+	// root of the whole chain-integrity argument, so a cheater must not
+	// be able to show different anchors to different verifiers — and it
+	// completes in full (data plus echo sub-round) before any τ set goes
+	// out, preserving per-channel round order.
 	anchors := make([][]byte, n)
 	if cfg.ProveDecryption {
-		if err := fab.Broadcast(roundCollectTaus, me, 32, anchorMsg{Hash: hashSet(scheme, mySet)}); err != nil {
+		all, err := transport.EchoBroadcastCtx(ctx, fab, me, roundCollectTaus, 32, anchorMsg{Hash: hashSet(scheme, mySet)})
+		if err != nil {
 			return nil, transport.AnnotatePhase(err, "collect-taus")
+		}
+		for j := 0; j < n; j++ {
+			if j == me {
+				anchors[me] = hashSet(scheme, mySet)
+				continue
+			}
+			msg, ok := all[j].(anchorMsg)
+			if !ok || len(msg.Hash) != sha256.Size {
+				return nil, malformedAbort(j, me, roundCollectTaus, "collect-taus",
+					"a malformed set anchor", "32-byte digest")
+			}
+			anchors[j] = msg.Hash
 		}
 	}
 	var v [][]elgamal.Ciphertext
 	if me == 0 {
 		v = make([][]elgamal.Ciphertext, n)
 		v[0] = mySet
-	} else {
-		if err := fab.Send(roundCollectTaus, me, 0, len(mySet)*ctBytes, tauSetMsg{Set: mySet}); err != nil {
-			return nil, transport.AnnotatePhase(err, "collect-taus")
-		}
-	}
-	if cfg.ProveDecryption {
-		for j := 0; j < n; j++ {
-			if j == me {
-				anchors[me] = hashSet(scheme, mySet)
-				continue
-			}
-			payload, err := fab.RecvCtx(ctx, me, j, roundCollectTaus)
-			if err != nil {
-				return nil, transport.AnnotatePhase(err, "collect-taus")
-			}
-			msg, ok := payload.(anchorMsg)
-			if !ok || len(msg.Hash) != 32 {
-				return nil, fmt.Errorf("unlinksort: party %d sent a malformed set anchor", j)
-			}
-			anchors[j] = msg.Hash
-		}
-	}
-	if me == 0 {
 		for j := 1; j < n; j++ {
 			payload, err := fab.RecvCtx(ctx, 0, j, roundCollectTaus)
 			if err != nil {
@@ -645,15 +660,24 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 			}
 			msg, ok := payload.(tauSetMsg)
 			if !ok || len(msg.Set) != (n-1)*cfg.L {
-				return nil, fmt.Errorf("unlinksort: party %d sent a malformed τ set", j)
+				return nil, malformedAbort(j, 0, roundCollectTaus, "collect-taus",
+					"a malformed τ set", fmt.Sprintf("%d ciphertexts", (n-1)*cfg.L))
 			}
 			if cfg.ProveDecryption && !bytes.Equal(hashSet(scheme, msg.Set), anchors[j]) {
-				return nil, fmt.Errorf("unlinksort: party %d's τ set does not match its anchor", j)
+				return nil, transport.Abort(j, roundCollectTaus, "collect-taus",
+					fmt.Errorf("unlinksort: party %d's τ set does not match its anchor", j)).
+					WithCert(certSetAnchor(j, 0, roundCollectTaus,
+						fmt.Sprintf("party %d's τ set does not hash to the anchor it broadcast", j),
+						anchors[j], encodeSetBytes(scheme, msg.Set)))
 			}
 			if err := validateSet(cfg.Group, j, msg.Set); err != nil {
 				return nil, err
 			}
 			v[j] = msg.Set
+		}
+	} else {
+		if err := fab.Send(roundCollectTaus, me, 0, len(mySet)*ctBytes, tauSetMsg{Set: mySet}); err != nil {
+			return nil, transport.AnnotatePhase(err, "collect-taus")
 		}
 	}
 
@@ -675,7 +699,8 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 				}
 				msg, ok := payload.(commitMsg)
 				if !ok || len(msg.Hashes) != n {
-					return nil, fmt.Errorf("unlinksort: party %d sent a malformed output commitment", me-2)
+					return nil, malformedAbort(me-2, me, roundChainBase+me-2, PhaseChain,
+						"a malformed output commitment", fmt.Sprintf("%d digests", n))
 				}
 				prevCommit = msg.Hashes
 			}
@@ -686,7 +711,8 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 				return nil, transport.AnnotatePhase(err, "chain")
 			}
 			if msg, ok := payload.(commitMsg); !ok || len(msg.Hashes) != n {
-				return nil, fmt.Errorf("unlinksort: party %d sent a malformed output commitment", me-1)
+				return nil, malformedAbort(me-1, me, roundChainBase+me-1, PhaseChain,
+					"a malformed output commitment", fmt.Sprintf("%d digests", n))
 			}
 		}
 		payload, err := fab.RecvCtx(ctx, me, me-1, roundChainBase+me-1)
@@ -695,7 +721,8 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 		}
 		msg, ok := payload.(vectorMsg)
 		if !ok || len(msg.V) != n {
-			return nil, fmt.Errorf("unlinksort: malformed chain vector from party %d", me-1)
+			return nil, malformedAbort(me-1, me, roundChainBase+me-1, PhaseChain,
+				fmt.Sprintf("a malformed chain vector (%T)", payload), fmt.Sprintf("vector of %d owner sets", n))
 		}
 		for owner := range msg.V {
 			if err := validateSet(cfg.Group, me-1, msg.V[owner]); err != nil {
@@ -708,7 +735,7 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 					return nil, err
 				}
 			}
-			if err := verifyChainHop(cfg, scheme, me-1, ys[me-1], prevCommit, msg); err != nil {
+			if err := verifyChainHop(cfg, scheme, me, me-1, roundChainBase+me-1, ys[me-1], prevCommit, msg); err != nil {
 				return nil, err
 			}
 		}
@@ -721,13 +748,22 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 		out.Stripped = make([][]elgamal.Ciphertext, n)
 		out.Proofs = make([][]zkp.EqualityTranscript, n)
 	}
+	stripKey := key
+	if cfg.byzFor(me) == ByzWrongDecryption {
+		// Covert deviation: strip with a key other than the registered
+		// share — the silent rank corruption ProveDecryption exists to
+		// catch. The transcripts are internally consistent for the wrong
+		// key, so only verification against the REGISTERED share (by the
+		// next hop) exposes it.
+		stripKey = &elgamal.KeyPair{X: new(big.Int).Add(key.X, big.NewInt(1)), Y: key.Y}
+	}
 	for owner := 0; owner < n; owner++ {
 		if owner == me {
 			out.V[owner] = v[owner]
 			continue
 		}
 		if cfg.ProveDecryption {
-			stripped, proofs, err := stripWithProofs(ctx, cfg, scheme, key, v[owner], rng)
+			stripped, proofs, err := stripWithProofs(ctx, cfg, scheme, stripKey, v[owner], rng)
 			if err != nil {
 				return nil, err
 			}
@@ -738,11 +774,21 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 			}
 			continue
 		}
-		processed, err := processSet(ctx, cfg, scheme, key.X, v[owner], rng)
+		processed, err := processSet(ctx, cfg, scheme, stripKey.X, v[owner], rng)
 		if err != nil {
 			return nil, err
 		}
 		out.V[owner] = processed
+	}
+	if cfg.byzFor(me) == ByzTamperOwnSet && len(out.V[me]) > 0 {
+		// Covert deviation: re-blind one ciphertext of the set this hop
+		// must pass through untouched. The copy matters — in-process runs
+		// share set memory across goroutines, and the deviation must
+		// corrupt only this party's outgoing message, not the honest
+		// copies upstream.
+		tampered := append([]elgamal.Ciphertext(nil), out.V[me]...)
+		tampered[0] = scheme.ExponentBlindR(tampered[0], big.NewInt(3))
+		out.V[me] = tampered
 	}
 
 	vectorBytes := n * (n - 1) * cfg.L * ctBytes
@@ -786,7 +832,8 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 		}
 		commit, ok := payload.(commitMsg)
 		if !ok || len(commit.Hashes) != n {
-			return nil, fmt.Errorf("unlinksort: party %d sent a malformed final commitment", n-1)
+			return nil, malformedAbort(n-1, me, roundChainBase+n-1, PhaseFinalSet,
+				"a malformed final commitment", fmt.Sprintf("%d digests", n))
 		}
 		payload, err = fab.RecvCtx(ctx, me, n-1, roundChainBase+n-1)
 		if err != nil {
@@ -794,10 +841,15 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 		}
 		msg, ok := payload.(finalMsg)
 		if !ok || len(msg.Set) != len(mySet) {
-			return nil, fmt.Errorf("unlinksort: malformed final set from party %d", n-1)
+			return nil, malformedAbort(n-1, me, roundChainBase+n-1, PhaseFinalSet,
+				"a malformed final set", fmt.Sprintf("%d ciphertexts", len(mySet)))
 		}
 		if !bytes.Equal(hashSet(scheme, msg.Set), commit.Hashes[me]) {
-			return nil, fmt.Errorf("unlinksort: final set does not match party %d's commitment", n-1)
+			return nil, transport.Abort(n-1, roundChainBase+n-1, PhaseFinalSet,
+				fmt.Errorf("unlinksort: final set does not match party %d's commitment", n-1)).
+				WithCert(certSetAnchor(n-1, me, roundChainBase+n-1,
+					fmt.Sprintf("party %d delivered a final set that does not hash to its own broadcast commitment", n-1),
+					commit.Hashes[me], encodeSetBytes(scheme, msg.Set)))
 		}
 		if err := validateSet(cfg.Group, n-1, msg.Set); err != nil {
 			return nil, err
@@ -810,7 +862,8 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 	}
 	msg, ok := payload.(finalMsg)
 	if !ok || len(msg.Set) != len(mySet) {
-		return nil, fmt.Errorf("unlinksort: malformed final set from party %d", n-1)
+		return nil, malformedAbort(n-1, me, roundChainBase+n-1, PhaseFinalSet,
+			"a malformed final set", fmt.Sprintf("%d ciphertexts", len(mySet)))
 	}
 	if err := validateSet(cfg.Group, n-1, msg.Set); err != nil {
 		return nil, err
@@ -830,34 +883,50 @@ func hashSet(scheme *elgamal.Scheme, set []elgamal.Ciphertext) []byte {
 // verifyChainHop checks a predecessor's message in ProveDecryption mode:
 // its claimed Input matches the previous commitment; every strip proof
 // verifies under the predecessor's registered key share; the untouched
-// own set passed through unmodified.
-func verifyChainHop(cfg Config, scheme *elgamal.Scheme, prev int, prevKey group.Element, prevCommit [][]byte, msg vectorMsg) error {
+// own set passed through unmodified. Every failure is a typed abort
+// naming prev and carrying a blame certificate the offline verifier in
+// internal/blame can re-check; me and round locate the evidence.
+func verifyChainHop(cfg Config, scheme *elgamal.Scheme, me, prev, round int, prevKey group.Element, prevCommit [][]byte, msg vectorMsg) error {
 	n := len(msg.V)
 	if len(msg.Input) != n || len(msg.Stripped) != n || len(msg.Proofs) != n {
-		return fmt.Errorf("unlinksort: party %d omitted decryption evidence", prev)
+		return malformedAbort(prev, me, round, PhaseChain,
+			"a chain vector with missing decryption evidence", "input, stripped and proof vectors")
 	}
 	for owner := 0; owner < n; owner++ {
 		if !bytes.Equal(hashSet(scheme, msg.Input[owner]), prevCommit[owner]) {
-			return fmt.Errorf("unlinksort: party %d's claimed input for owner %d does not match the committed vector", prev, owner)
+			return transport.Abort(prev, round, PhaseChain,
+				fmt.Errorf("unlinksort: party %d's claimed input for owner %d does not match the committed vector", prev, owner)).
+				WithCert(certSetAnchor(prev, me, round,
+					fmt.Sprintf("party %d's claimed chain input for owner %d does not hash to the committed vector", prev, owner),
+					prevCommit[owner], encodeSetBytes(scheme, msg.Input[owner])))
 		}
 		if owner == prev {
 			// The predecessor does not process its own set; it must pass
 			// through byte-identical.
 			if !bytes.Equal(hashSet(scheme, msg.V[owner]), hashSet(scheme, msg.Input[owner])) {
-				return fmt.Errorf("unlinksort: party %d modified its own set in transit", prev)
+				return transport.Abort(prev, round, PhaseChain,
+					fmt.Errorf("unlinksort: party %d modified its own set in transit", prev)).
+					WithCert(certOwnSetTampered(prev, me, round,
+						encodeSetBytes(scheme, msg.Input[owner]), encodeSetBytes(scheme, msg.V[owner])))
 			}
 			continue
 		}
 		if len(msg.Proofs[owner]) != len(msg.Input[owner]) || len(msg.Stripped[owner]) != len(msg.Input[owner]) {
-			return fmt.Errorf("unlinksort: party %d sent mismatched evidence for owner %d", prev, owner)
+			return malformedAbort(prev, me, round, PhaseChain,
+				fmt.Sprintf("mismatched decryption evidence for owner %d", owner),
+				fmt.Sprintf("%d stripped ciphertexts and proofs", len(msg.Input[owner])))
 		}
 		for i := range msg.Input[owner] {
 			in, st := msg.Input[owner][i], msg.Stripped[owner][i]
 			if !cfg.Group.Equal(in.C1, st.C1) {
-				return fmt.Errorf("unlinksort: party %d altered ciphertext randomness for owner %d", prev, owner)
+				return transport.Abort(prev, round, PhaseChain,
+					fmt.Errorf("unlinksort: party %d altered ciphertext randomness for owner %d", prev, owner)).
+					WithCert(certStrippedRandomness(cfg.Group, prev, me, round, in, st))
 			}
 			if !zkp.VerifyPartialDecryption(cfg.Group, prevKey, in.C1, in.C, st.C, msg.Proofs[owner][i]) {
-				return fmt.Errorf("unlinksort: party %d failed decryption proof %d of owner %d", prev, i, owner)
+				return transport.Abort(prev, round, PhaseChain,
+					fmt.Errorf("unlinksort: party %d failed decryption proof %d of owner %d", prev, i, owner)).
+					WithCert(certPartialDecryption(cfg.Group, prev, me, round, in, st, msg.Proofs[owner][i], prevKey))
 			}
 		}
 	}

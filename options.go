@@ -58,7 +58,31 @@ func deriveBits(bits int, values []uint64) int {
 	return bits
 }
 
+// validateRuntime rejects nonsense runtime settings at the public entry
+// point instead of letting them silently change meaning deeper in the
+// stack: a negative Timeout would otherwise be "defaulted" like zero,
+// and a negative Recovery.Grace would blame a reconnecting peer
+// instantly. The checks mirror rankparty's flag validation, so the
+// library and the CLI reject the same inputs with the same meaning.
+func (o Options) validateRuntime() error {
+	if o.Timeout < 0 {
+		return fmt.Errorf("groupranking: Timeout %v is negative (0 means the default deadline)", o.Timeout)
+	}
+	if o.Recovery != nil {
+		if o.Recovery.Grace < 0 {
+			return fmt.Errorf("groupranking: Recovery.Grace %v is negative (0 means the 15s default)", o.Recovery.Grace)
+		}
+		if o.Recovery.Heartbeat < 0 {
+			return fmt.Errorf("groupranking: Recovery.Heartbeat %v is negative (0 means the 250ms default)", o.Recovery.Heartbeat)
+		}
+	}
+	return nil
+}
+
 func (o Options) withDefaults(n int) (Options, error) {
+	if err := o.validateRuntime(); err != nil {
+		return o, err
+	}
 	o.GroupName = resolveGroupName(o.GroupName)
 	if o.K == 0 {
 		o.K = 3
@@ -89,6 +113,9 @@ func (o SortOptions) validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("groupranking: workers=%d negative", o.Workers)
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("groupranking: Timeout %v is negative (0 means the default deadline)", o.Timeout)
 	}
 	return nil
 }

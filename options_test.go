@@ -3,6 +3,7 @@ package groupranking
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // The shared option resolver backs every public entry point; these
@@ -64,6 +65,43 @@ func TestSortPartyOptionsRequireBits(t *testing.T) {
 		if o.Seed != "" {
 			t.Error("party defaults drew a seed (empty must mean crypto/rand)")
 		}
+	}
+}
+
+// TestRuntimeOptionsValidation pins the entry-point rejection of
+// negative runtime settings: silently defaulting them would flip their
+// meaning (a negative Timeout is not "no deadline", a negative Grace
+// would blame a reconnecting peer instantly), so every public entry
+// point fails loudly instead — with the same meaning as rankparty's
+// flag checks.
+func TestRuntimeOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"negative timeout", Options{Timeout: -time.Second}, "Timeout"},
+		{"negative grace", Options{Recovery: &RecoveryOptions{Dir: "d", Grace: -time.Second}}, "Grace"},
+		{"negative heartbeat", Options{Recovery: &RecoveryOptions{Dir: "d", Heartbeat: -time.Millisecond}}, "Heartbeat"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.opts.withDefaults(3)
+			if err == nil {
+				t.Fatal("invalid runtime options accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// The sort options reject a negative Timeout on both the in-process
+	// and the distributed resolution paths.
+	if _, err := UnlinkableSort([]uint64{3, 1, 2}, SortOptions{Timeout: -time.Second}); err == nil || !strings.Contains(err.Error(), "Timeout") {
+		t.Errorf("in-process sort accepted a negative timeout: %v", err)
+	}
+	if _, err := (SortOptions{Bits: 8, Timeout: -time.Second}).withPartyDefaults(); err == nil || !strings.Contains(err.Error(), "Timeout") {
+		t.Errorf("party sort defaults accepted a negative timeout: %v", err)
 	}
 }
 
