@@ -7,9 +7,9 @@ GO ?= go
 # protocol party, fault-injection delays, TCP pumps, the lock-cheap
 # observability registry): these run under the race detector in short
 # mode as part of check.
-RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./internal/journal/ ./internal/blame/ ./cmd/rankparty/
+RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./internal/journal/ ./internal/blame/ ./internal/telemetry/ ./internal/tracemerge/ ./cmd/rankparty/
 
-.PHONY: check vet build test race race-full chaos chaos-byz bench bench-json bench-compare trace-demo demo-distributed clean
+.PHONY: check vet build test race race-full chaos chaos-byz bench bench-json bench-compare trace-demo demo-distributed telemetry-demo clean
 
 check: vet build test race
 
@@ -75,6 +75,28 @@ demo-distributed:
 	  -me 3 -attrs age:eq,activity:gt -values 45,90 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 & \
 	/tmp/rankparty -addrs 127.0.0.1:9411,127.0.0.1:9412,127.0.0.1:9413,127.0.0.1:9414 \
 	  -me 0 -attrs age:eq,activity:gt -values 30,0 -weights 2,1 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 && wait
+
+# The distributed demo with the full telemetry stack: every party serves
+# an admin endpoint (scrape http://127.0.0.1:942N/metrics or /healthz
+# while it runs), writes a JSONL trace, and party 2 drags its feet with
+# an injected 300ms per-phase delay. The final step merges the four
+# traces into one timeline — ranktrace must name party 2 the straggler.
+telemetry-demo:
+	$(GO) build -o /tmp/rankparty ./cmd/rankparty
+	$(GO) build -o /tmp/ranktrace ./cmd/ranktrace
+	/tmp/rankparty -addrs 127.0.0.1:9411,127.0.0.1:9412,127.0.0.1:9413,127.0.0.1:9414 \
+	  -me 1 -attrs age:eq,activity:gt -values 30,50 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 -seed demo \
+	  -admin 127.0.0.1:9421 -trace /tmp/rank-p1.jsonl & \
+	/tmp/rankparty -addrs 127.0.0.1:9411,127.0.0.1:9412,127.0.0.1:9413,127.0.0.1:9414 \
+	  -me 2 -attrs age:eq,activity:gt -values 25,60 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 -seed demo \
+	  -admin 127.0.0.1:9422 -trace /tmp/rank-p2.jsonl -straggle 300ms & \
+	/tmp/rankparty -addrs 127.0.0.1:9411,127.0.0.1:9412,127.0.0.1:9413,127.0.0.1:9414 \
+	  -me 3 -attrs age:eq,activity:gt -values 45,90 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 -seed demo \
+	  -admin 127.0.0.1:9423 -trace /tmp/rank-p3.jsonl & \
+	/tmp/rankparty -addrs 127.0.0.1:9411,127.0.0.1:9412,127.0.0.1:9413,127.0.0.1:9414 \
+	  -me 0 -attrs age:eq,activity:gt -values 30,0 -weights 2,1 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 -seed demo \
+	  -admin 127.0.0.1:9424 -trace /tmp/rank-p0.jsonl && wait
+	/tmp/ranktrace /tmp/rank-p0.jsonl /tmp/rank-p1.jsonl /tmp/rank-p2.jsonl /tmp/rank-p3.jsonl
 
 clean:
 	$(GO) clean ./...

@@ -25,6 +25,13 @@
 // the same flags resumes the in-flight session from its journal. The
 // -fault-* flags inject deterministic message faults into this party's
 // endpoint for chaos testing.
+//
+// With -admin ADDR the party serves live telemetry over HTTP while the
+// run is in flight: /metrics (Prometheus text exposition of transport,
+// journal and protocol counters), /healthz (per-peer link state, 200
+// only when every peer is connected) and /debug/pprof. Traces written
+// with -trace carry the run-level trace ID agreed in the session
+// handshake; ranktrace merges the per-party files into one timeline.
 package main
 
 import (
@@ -32,12 +39,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"groupranking"
+	"groupranking/internal/telemetry"
 	"groupranking/internal/transport"
 )
 
@@ -65,6 +75,8 @@ func run() int {
 		workers   = flag.Int("workers", 0, "goroutines for this party's crypto hot loops (0 = all CPUs, 1 = serial)")
 		traceFile = flag.String("trace", "", "write this party's JSONL span trace to this file (- for stderr); written even on abort")
 		metrics   = flag.Bool("metrics", false, "print this party's per-phase summary table to stderr")
+		admin     = flag.String("admin", "", "serve live telemetry on this address while the run is in flight: /metrics (Prometheus text), /healthz (per-peer link state), /debug/pprof")
+		straggle  = flag.Duration("straggle", 0, "testing: sleep this long at the start of every phase, making this party the run's straggler in the merged trace")
 
 		journalDir = flag.String("journal", "", "enable crash recovery: journal the session durably into this directory; restart with the same flags to resume")
 		grace      = flag.Duration("grace", 0, "how long a disconnected peer may take to reconnect before it is blamed (default 15s; needs -journal)")
@@ -93,6 +105,10 @@ func run() int {
 	}
 	if *heartbeat < 0 {
 		log.Printf("-heartbeat %v is negative (0 means the 250ms default)", *heartbeat)
+		return 2
+	}
+	if *straggle < 0 {
+		log.Printf("-straggle %v is negative", *straggle)
 		return 2
 	}
 
@@ -167,10 +183,29 @@ func run() int {
 		log.Printf("unknown -sorter %q (want unlinkable or secret-sharing)", *sorter)
 		return 2
 	}
+	// The admin endpoint and the straggler hook both live on the
+	// observer, so either flag forces one on.
 	var obs *groupranking.Observer
-	if *traceFile != "" || *metrics {
+	if *traceFile != "" || *metrics || *admin != "" || *straggle > 0 {
 		obs = groupranking.NewObserver()
 		opts.Observer = obs
+	}
+	if *straggle > 0 {
+		delay := *straggle
+		obs.SetBeginHook(func(party int, phase string) { time.Sleep(delay) })
+	}
+	if *admin != "" {
+		tel := groupranking.NewTelemetry()
+		opts.Telemetry = tel
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Printf("-admin: %v", err)
+			return 2
+		}
+		srv := &http.Server{Handler: telemetry.AdminMux(tel, obs.WritePrometheus)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		log.Printf("admin endpoint on http://%s (/metrics, /healthz, /debug/pprof)", ln.Addr())
 	}
 	report := func() {
 		if obs == nil {
@@ -212,6 +247,9 @@ func run() int {
 		if err != nil {
 			return fail(err, addrs, *blameOut)
 		}
+		if obs != nil {
+			log.Printf("trace id %s", res.TraceID)
+		}
 		fmt.Printf("initiator: received %d top-%d submissions over %d rounds (%d bytes sent)\n",
 			len(res.Submissions), opts.K, res.Rounds, res.BytesOnWire)
 		for _, s := range res.Submissions {
@@ -233,6 +271,9 @@ func run() int {
 	report()
 	if err != nil {
 		return fail(err, addrs, *blameOut)
+	}
+	if obs != nil {
+		log.Printf("trace id %s", res.TraceID)
 	}
 	fmt.Printf("party %d: my gain ranks #%d among %d participants (1 = best)\n", *me, res.Rank, len(addrs)-1)
 	if res.Rank <= opts.K {

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -14,6 +16,7 @@ import (
 	"groupranking/internal/blame"
 	"groupranking/internal/core"
 	"groupranking/internal/leakcheck"
+	"groupranking/internal/tracemerge"
 	"groupranking/internal/transport"
 )
 
@@ -249,6 +252,145 @@ func TestEquivocatorBlamedAcrossProcesses(t *testing.T) {
 	}
 	if cert.Accused != 1 {
 		t.Fatalf("certificate accuses party %d, the equivocator is 1 — FALSE ACCUSATION\n%s", cert.Accused, data)
+	}
+}
+
+// scrapeCounter fetches /metrics from an admin endpoint and returns the
+// value of one un-labelled counter, or -1 with the raw body when the
+// endpoint is not serving yet or the counter is absent.
+func scrapeCounter(addr, name string) (float64, string) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return -1, ""
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != 200 {
+		return -1, string(body)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		var v float64
+		if n, err := fmt.Sscanf(line, name+" %g", &v); n == 1 && err == nil {
+			return v, string(body)
+		}
+	}
+	return -1, string(body)
+}
+
+// TestAdminEndpointsAndMergedTrace runs the full four-process mesh with
+// every party serving -admin and writing -trace, and party 2 running
+// with an injected -straggle delay. While the run is in flight the test
+// scrapes the initiator's /metrics (counters must be live and
+// monotonically increasing mid-run) and /healthz (200 with all links
+// up). Afterwards the four per-party traces must merge into one
+// timeline — proving all parties agreed on the session-pinned trace ID
+// — and the analyzer must name the straggler.
+func TestAdminEndpointsAndMergedTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test skipped in short mode")
+	}
+	leakcheck.Check(t)
+	bin := buildBinary(t)
+	addrs, err := transport.FreeLoopbackAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminAddrs, err := transport.FreeLoopbackAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const straggler = 2
+	dir := t.TempDir()
+	traceFiles := make([]string, 4)
+	results := make([]partyResult, 4)
+	var wg sync.WaitGroup
+	for me := 0; me < 4; me++ {
+		me := me
+		traceFiles[me] = filepath.Join(dir, fmt.Sprintf("p%d.jsonl", me))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			extra := []string{"-admin", adminAddrs[me], "-trace", traceFiles[me]}
+			if me == straggler {
+				extra = append(extra, "-straggle", "300ms")
+			}
+			cmd, buf := startParty(bin, addrs, me, 60*time.Second, extra...)
+			err := cmd.Run()
+			results[me] = partyResult{out: buf.Bytes(), err: err, code: cmd.ProcessState.ExitCode()}
+		}()
+	}
+
+	// Mid-run: the initiator's admin endpoint must serve live, growing
+	// counters. The straggler's injected 300ms per phase keeps the run in
+	// flight long enough to observe two distinct values.
+	var first float64 = -1
+	deadline := time.Now().Add(20 * time.Second)
+	for first < 0 && time.Now().Before(deadline) {
+		first, _ = scrapeCounter(adminAddrs[0], "transport_msgs_total")
+		if first < 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if first < 0 {
+		t.Fatal("initiator's /metrics never served transport_msgs_total mid-run")
+	}
+	if resp, err := http.Get("http://" + adminAddrs[0] + "/healthz"); err != nil {
+		t.Errorf("mid-run /healthz: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("mid-run /healthz = %d, want 200 with the mesh up", resp.StatusCode)
+		}
+	}
+	grew := false
+	prev := first
+	for !grew && time.Now().Before(deadline) {
+		v, _ := scrapeCounter(adminAddrs[0], "transport_msgs_total")
+		if v < 0 {
+			break // the run finished and the endpoint went away
+		}
+		if v < prev {
+			t.Fatalf("transport_msgs_total went backwards mid-run: %g then %g", prev, v)
+		}
+		grew = v > prev
+		prev = v
+		time.Sleep(15 * time.Millisecond)
+	}
+	if !grew {
+		t.Errorf("transport_msgs_total never increased across mid-run scrapes (stuck at %g)", prev)
+	}
+
+	wg.Wait()
+	for me, r := range results {
+		if r.code != 0 {
+			t.Fatalf("party %d exited %d: %s", me, r.code, r.out)
+		}
+	}
+
+	// Post-run: the four traces merge (same trace ID on every party, per
+	// the session handshake) and the analyzer blames the injected
+	// straggler on compute, not wall time.
+	traces, err := tracemerge.LoadFiles(traceFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := tracemerge.Merge(traces)
+	if err != nil {
+		t.Fatalf("merging the four per-party traces: %v", err)
+	}
+	if want := core.DeriveTraceID("rankparty-test"); tl.TraceID != want {
+		t.Errorf("merged trace ID = %q, want the seed-derived %q", tl.TraceID, want)
+	}
+	if tl.Straggler != straggler {
+		var rendered bytes.Buffer
+		tl.WriteText(&rendered)
+		t.Errorf("analyzer names party %d as straggler, want the -straggle party %d\n%s",
+			tl.Straggler, straggler, rendered.String())
+	}
+	for me := 0; me < 4; me++ {
+		if !strings.Contains(string(results[me].out), "trace id "+tl.TraceID) {
+			t.Errorf("party %d did not log the agreed trace id %s: %q", me, tl.TraceID, results[me].out)
+		}
 	}
 }
 

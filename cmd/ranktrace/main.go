@@ -1,0 +1,65 @@
+// Command ranktrace merges the per-party JSONL traces of one
+// distributed group-ranking run (rankparty -trace) into a single
+// cross-party timeline. Every party writes its trace against its own
+// clock; ranktrace aligns them on the session handshake (a barrier all
+// parties leave together), checks they carry the same run-level trace
+// ID, and reports the per-phase critical path, the straggler of each
+// phase — the party the others were blocked waiting on, told apart by
+// the wait-vs-compute split, not by wall time — and every party's
+// busy/wait/compute totals.
+//
+//	ranktrace p0.jsonl p1.jsonl p2.jsonl p3.jsonl
+//	ranktrace -json run.jsonl        # one merged file (shared clock)
+//	rankparty ... -trace - 2>&1 | ranktrace -
+//
+// Exit status: 0 on success, 1 when the traces cannot be merged, 2 on
+// usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"groupranking/internal/tracemerge"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("ranktrace: ")
+	jsonOut := flag.Bool("json", false, "emit the merged timeline as JSON instead of tables")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ranktrace [-json] trace.jsonl [trace.jsonl ...]   (- reads stdin)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return 2
+	}
+	traces, err := tracemerge.LoadFiles(flag.Args())
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	tl, err := tracemerge.Merge(traces)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if *jsonOut {
+		err = tl.WriteJSON(os.Stdout)
+	} else {
+		err = tl.WriteText(os.Stdout)
+	}
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}

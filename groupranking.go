@@ -34,6 +34,7 @@ import (
 	"groupranking/internal/core"
 	"groupranking/internal/group"
 	"groupranking/internal/obsv"
+	"groupranking/internal/telemetry"
 	"groupranking/internal/transport"
 	"groupranking/internal/workload"
 )
@@ -48,6 +49,19 @@ type Observer = obsv.Registry
 
 // NewObserver creates an empty observability registry.
 func NewObserver() *Observer { return obsv.NewRegistry() }
+
+// Telemetry is the runtime metrics registry: streaming counters,
+// gauges and latency histograms covering what the runtime under the
+// protocol does — transport traffic and round cadence, link redials
+// and retransmissions, heartbeat RTTs, journal durability latency.
+// Create one with NewTelemetry, pass it via Options.Telemetry, and
+// serve it live over HTTP with telemetry.AdminMux (the rankparty
+// -admin flag does both). A nil Telemetry disables collection at zero
+// cost, and enabling it never adds protocol messages or bytes.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry creates an empty runtime metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 
 // Attribute kinds (Section III-A of the paper).
 const (
@@ -129,6 +143,12 @@ type Options struct {
 	// parties 1..n the participants). On abort the partially filled
 	// Observer still holds every span up to the failure.
 	Observer *Observer
+	// Telemetry, when non-nil, streams runtime health metrics (transport
+	// round cadence, redials, retransmissions, heartbeat RTT, journal
+	// latency) into a registry that can be scraped live while the run is
+	// in flight. Only the distributed party entry points feed it;
+	// in-process runs have no runtime underneath to measure.
+	Telemetry *Telemetry
 	// Workers bounds the goroutines each party's crypto hot loops fan
 	// out on: 0 uses every CPU, 1 forces the serial reference path.
 	// Randomness is drawn serially regardless, so rankings, transcripts

@@ -189,7 +189,7 @@ func runRestartParty(params core.Params, q *workload.Questionnaire, crit workloa
 func runRestartRole(params core.Params, q *workload.Questionnaire, crit workload.Criterion,
 	profiles []workload.Profile, seed string, me int, net transport.Net, res *restartResult) error {
 	ctx := context.Background()
-	if err := core.EstablishSessionCtx(ctx, params, me, net); err != nil {
+	if _, err := core.EstablishSessionCtx(ctx, params, me, net, core.DeriveTraceID(seed)); err != nil {
 		return err
 	}
 	if me == 0 {

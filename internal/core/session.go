@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -18,8 +20,9 @@ var ErrSessionMismatch = errors.New("core: session parameters disagree")
 
 // sessionVersion guards the wire format itself: parties running
 // incompatible builds abort in the handshake instead of failing with
-// a gob decode error deep inside a crypto phase.
-const sessionVersion = 1
+// a gob decode error deep inside a crypto phase. Version 2 added the
+// TraceID field to the announcement.
+const sessionVersion = 2
 
 // sessionMsg is the session-establishment announcement every party
 // broadcasts before any crypto is spent. It pins every parameter whose
@@ -35,6 +38,11 @@ type sessionMsg struct {
 	SkipProofs      bool
 	ProveDecryption bool
 	Kappa           int
+	// TraceID is the run-level trace identifier proposal. Unlike every
+	// other field it is deliberately excluded from diff(): party 0's
+	// proposal wins and the others adopt it, so all parties stamp their
+	// telemetry spans with one shared ID without an extra round.
+	TraceID string
 }
 
 // sessionFromParams builds the canonical announcement for params,
@@ -97,9 +105,20 @@ func (m sessionMsg) diff(o sessionMsg) string {
 // wireBytes is the nominal announcement size for the transport stats.
 func (m sessionMsg) wireBytes() int { return 64 + len(m.Group) }
 
-// EstablishSession runs EstablishSessionCtx without cancellation.
+// DeriveTraceID maps a party's resolved seed to the trace identifier
+// it proposes in the session round. The derivation is deterministic so
+// a crash-recovered party (same journaled seed) proposes the same ID
+// and the merged trace stays coherent across restarts.
+func DeriveTraceID(seed string) string {
+	sum := sha256.Sum256([]byte("groupranking-trace-v1|" + seed))
+	return hex.EncodeToString(sum[:8])
+}
+
+// EstablishSession runs EstablishSessionCtx without cancellation or a
+// trace-ID proposal.
 func EstablishSession(params Params, me int, fab transport.Net) error {
-	return EstablishSessionCtx(context.Background(), params, me, fab)
+	_, err := EstablishSessionCtx(context.Background(), params, me, fab, "")
+	return err
 }
 
 // EstablishSessionCtx runs the session-establishment round: every party
@@ -112,14 +131,20 @@ func EstablishSession(params Params, me int, fab transport.Net) error {
 // skips it — all goroutines share one Params value by construction —
 // so in-process message and operation counts are unchanged; the
 // distributed entry points always run it.
-func EstablishSessionCtx(ctx context.Context, params Params, me int, fab transport.Net) error {
+//
+// The round doubles as trace-ID agreement: each party's announcement
+// carries its proposal (usually DeriveTraceID of its seed), party 0's
+// proposal wins, and the agreed ID is returned so the caller can stamp
+// its telemetry. No extra message or byte is spent on it.
+func EstablishSessionCtx(ctx context.Context, params Params, me int, fab transport.Net, propose string) (string, error) {
 	if err := params.Validate(); err != nil {
-		return err
+		return "", err
 	}
 	obs := obsv.PartyFrom(ctx)
 	net := obsv.ObservedNet(fab, obs)
 	obs.Begin(PhaseSession)
 	mine := sessionFromParams(params)
+	mine.TraceID = propose
 	// Echo broadcast: on real fabrics the announcement is followed by a
 	// digest sub-round, so an initiator that tells different parties to
 	// run different protocols is identified instead of producing n
@@ -127,7 +152,7 @@ func EstablishSessionCtx(ctx context.Context, params Params, me int, fab transpo
 	// entirely (one memory space cannot equivocate).
 	all, err := transport.EchoBroadcastCtx(ctx, net, me, roundSession, mine.wireBytes(), mine)
 	if err != nil {
-		return transport.AnnotatePhase(err, PhaseSession)
+		return "", transport.AnnotatePhase(err, PhaseSession)
 	}
 	for j, payload := range all {
 		if j == me {
@@ -135,13 +160,19 @@ func EstablishSessionCtx(ctx context.Context, params Params, me int, fab transpo
 		}
 		theirs, ok := payload.(sessionMsg)
 		if !ok {
-			return transport.Abort(j, roundSession, PhaseSession,
+			return "", transport.Abort(j, roundSession, PhaseSession,
 				fmt.Errorf("%w: party %d sent a malformed session announcement", ErrSessionMismatch, j))
 		}
 		if d := mine.diff(theirs); d != "" {
-			return transport.Abort(j, roundSession, PhaseSession,
+			return "", transport.Abort(j, roundSession, PhaseSession,
 				fmt.Errorf("%w: party %d disagrees on %s", ErrSessionMismatch, j, d))
 		}
 	}
-	return nil
+	traceID := propose
+	if me != 0 {
+		if m0, ok := all[0].(sessionMsg); ok {
+			traceID = m0.TraceID
+		}
+	}
+	return traceID, nil
 }

@@ -29,7 +29,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"groupranking/internal/telemetry"
 	"groupranking/internal/transport"
 )
 
@@ -100,12 +102,45 @@ type Journal struct {
 	w      *bufio.Writer
 	path   string
 	closed bool
+	tm     *journalMetrics
 
 	fingerprint []byte
 	seed        string
 	epoch       int
 	sent        map[int][]Record // per peer, in append order
 	recv        map[int][]Record
+}
+
+// journalMetrics exports the durability cost of the write-ahead log:
+// how often the party journals, how much it writes, and how long the
+// flush-per-append and fsync paths take. Nil (telemetry disabled)
+// costs a single nil check per append.
+type journalMetrics struct {
+	appends       *telemetry.Counter
+	bytes         *telemetry.Counter
+	appendSeconds *telemetry.Histogram
+	fsyncSeconds  *telemetry.Histogram
+}
+
+// SetTelemetry connects the journal to a live metrics registry. Call
+// before the session starts; a nil registry disables instrumentation.
+func (j *Journal) SetTelemetry(reg *telemetry.Registry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if reg == nil {
+		j.tm = nil
+		return
+	}
+	j.tm = &journalMetrics{
+		appends: reg.Counter("journal_appends_total", "Records appended to the session journal."),
+		bytes:   reg.Counter("journal_bytes_total", "Bytes appended to the session journal (frame headers included)."),
+		appendSeconds: reg.Histogram("journal_append_seconds",
+			"Latency of one journal append, including the flush to the OS.",
+			telemetry.ExpBuckets(0.00001, 4, 10)), // 10µs .. ~2.6s
+		fsyncSeconds: reg.Histogram("journal_fsync_seconds",
+			"Latency of forcing the journal to stable storage.",
+			telemetry.ExpBuckets(0.0001, 4, 10)), // 100µs .. ~26s
+	}
 }
 
 // SessionPath names the journal file for one party of one session
@@ -239,6 +274,10 @@ func (j *Journal) appendLocked(rec Record) error {
 	if j.closed {
 		return fmt.Errorf("journal: %s is closed", j.path)
 	}
+	var start time.Time
+	if j.tm != nil {
+		start = time.Now()
+	}
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
 		return fmt.Errorf("journal: encoding record: %w", err)
@@ -257,6 +296,11 @@ func (j *Journal) appendLocked(rec Record) error {
 	// one it already acted on.
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("journal: flushing: %w", err)
+	}
+	if j.tm != nil {
+		j.tm.appends.Inc()
+		j.tm.bytes.Add(int64(len(hdr) + body.Len()))
+		j.tm.appendSeconds.Observe(time.Since(start).Seconds())
 	}
 	j.apply(rec)
 	return nil
@@ -378,7 +422,17 @@ func (j *Journal) Sync() error {
 	if err := j.w.Flush(); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	var start time.Time
+	if j.tm != nil {
+		start = time.Now()
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if j.tm != nil {
+		j.tm.fsyncSeconds.Observe(time.Since(start).Seconds())
+	}
+	return nil
 }
 
 // Path returns the journal's file path.

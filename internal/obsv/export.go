@@ -84,7 +84,9 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 		copy(done, p.done)
 		p.mu.Unlock()
 		for _, s := range done {
-			wall += s.end.Sub(s.start).Microseconds()
+			if end, closed := s.endTime(); closed {
+				wall += end.Sub(s.start).Microseconds()
+			}
 		}
 		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			p.idx, fmtWall(wall),

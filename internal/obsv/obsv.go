@@ -59,6 +59,7 @@ const (
 	OpByteSent           // bytes sent
 	OpEchoMsgSent        // echo sub-round messages sent (consistency overhead)
 	OpEchoByteSent       // echo sub-round bytes sent
+	OpRecvWait           // microseconds spent blocked in receives
 	numOps
 )
 
@@ -70,7 +71,12 @@ var opNames = [numOps]string{
 	"field_mul",
 	"msgs_sent", "bytes_sent",
 	"echo_msgs_sent", "echo_bytes_sent",
+	"recv_wait_us",
 }
+
+// NumOps returns the number of counted operation kinds; Op values
+// [0, NumOps) are valid. Exporters use it to iterate the taxonomy.
+func NumOps() int { return int(numOps) }
 
 // String returns the stable snake_case name used in exports.
 func (o Op) String() string {
@@ -82,13 +88,25 @@ func (o Op) String() string {
 
 // Span is one phase-scoped measurement interval of one party. Its
 // counters are updated with atomic adds; identity fields are immutable
-// after creation.
+// after creation. The end timestamp is atomic because a still-open span
+// can be snapshotted (mid-run trace export, the admin endpoint) at the
+// same moment the party's own goroutine closes it.
 type Span struct {
 	party  int
 	phase  string
+	seq    int // per-party span ordinal (1-based; 0 = catch-all)
 	start  time.Time
-	end    time.Time // zero while open; written before publication
+	endNS  atomic.Int64 // UnixNano; 0 while open
 	counts [numOps]int64
+}
+
+// end returns the close time and whether the span is closed.
+func (s *Span) endTime() (time.Time, bool) {
+	ns := s.endNS.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
 }
 
 func (s *Span) add(op Op, n int64) {
@@ -107,9 +125,10 @@ func (s *Span) Count(op Op) int64 {
 // called from the party's own goroutine; Add may be called from any
 // goroutine. All methods are no-ops on a nil receiver.
 type Party struct {
-	idx int
-	reg *Registry
-	cur atomic.Pointer[Span]
+	idx     int
+	reg     *Registry
+	cur     atomic.Pointer[Span]
+	nextSeq int // only touched from the party's goroutine (Begin)
 
 	mu     sync.Mutex
 	done   []*Span
@@ -144,8 +163,14 @@ func (p *Party) Begin(phase string) {
 		return
 	}
 	p.End()
-	s := &Span{party: p.idx, phase: phase, start: time.Now()}
+	p.nextSeq++
+	s := &Span{party: p.idx, phase: phase, seq: p.nextSeq, start: time.Now()}
 	p.cur.Store(s)
+	// The hook runs after the span opens, so time it spends (fault
+	// injection, straggler delays) is attributed to the span as compute.
+	if hook := p.reg.beginHook(); hook != nil {
+		hook(p.idx, phase)
+	}
 }
 
 // End closes the current span. Calling End with no open span is a
@@ -158,7 +183,7 @@ func (p *Party) End() {
 	if s == nil {
 		return
 	}
-	s.end = time.Now()
+	s.endNS.Store(time.Now().UnixNano())
 	p.mu.Lock()
 	p.done = append(p.done, s)
 	p.mu.Unlock()
@@ -188,6 +213,53 @@ type Registry struct {
 
 	mu      sync.Mutex
 	parties map[int]*Party
+	traceID string
+	onBegin func(party int, phase string)
+}
+
+// SetTraceID pins the run-level trace identifier every exported span
+// carries. The orchestrator sets it once the session-establishment
+// round has agreed on it, so traces from different parties of the same
+// run can be correlated by ID alone.
+func (r *Registry) SetTraceID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceID = id
+	r.mu.Unlock()
+}
+
+// TraceID returns the pinned trace identifier ("" until set).
+func (r *Registry) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
+}
+
+// SetBeginHook installs fn to run inside every Party.Begin, after the
+// new span has opened. Test harnesses use it to inject per-phase
+// behaviour (e.g. a straggler's delay) that the trace attributes to the
+// span like any other compute.
+func (r *Registry) SetBeginHook(fn func(party int, phase string)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onBegin = fn
+	r.mu.Unlock()
+}
+
+func (r *Registry) beginHook() func(party int, phase string) {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.onBegin
 }
 
 // NewRegistry creates an empty registry; party handles are created on
@@ -254,8 +326,10 @@ func (r *Registry) partyList() []*Party {
 // SpanSnapshot is one exported span: identity, timing relative to
 // registry creation, and the non-zero counters.
 type SpanSnapshot struct {
+	TraceID string           `json:"trace_id,omitempty"`
 	Party   int              `json:"party"`
 	Phase   string           `json:"phase"`
+	Seq     int              `json:"seq"`
 	StartUS int64            `json:"start_us"`
 	DurUS   int64            `json:"dur_us"`
 	Open    bool             `json:"open,omitempty"`
@@ -263,13 +337,20 @@ type SpanSnapshot struct {
 }
 
 func (r *Registry) snapshotSpan(s *Span, open bool) SpanSnapshot {
-	end := s.end
-	if open {
+	// A span grabbed from p.cur may be closed by the party's goroutine
+	// between the load and this snapshot; trust the span's own state over
+	// the caller's view so the race resolves to the closed duration.
+	end, closed := s.endTime()
+	if !closed {
 		end = time.Now()
+	} else {
+		open = false
 	}
 	snap := SpanSnapshot{
+		TraceID: r.TraceID(),
 		Party:   s.party,
 		Phase:   s.phase,
+		Seq:     s.seq,
 		StartUS: s.start.Sub(r.start).Microseconds(),
 		DurUS:   end.Sub(s.start).Microseconds(),
 		Open:    open,

@@ -1,0 +1,33 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the registry's per-party operation totals in
+// the Prometheus text exposition format, as one counter family
+// grouprank_ops_total{party,op}. It is shaped to slot into
+// telemetry.AdminMux as an extra collector, so the admin endpoint's
+// /metrics serves the protocol's counters next to the runtime's.
+//
+// Totals include the open span, so a mid-run scrape sees counters that
+// only ever increase. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w,
+		"# HELP grouprank_ops_total Protocol operations by party and kind.\n# TYPE grouprank_ops_total counter\n"); err != nil {
+		return err
+	}
+	for _, p := range r.partyList() {
+		for op := Op(0); op < numOps; op++ {
+			if _, err := fmt.Fprintf(w, "grouprank_ops_total{party=\"%d\",op=%q} %d\n",
+				p.idx, op.String(), p.Total(op)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

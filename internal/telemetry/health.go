@@ -1,0 +1,59 @@
+package telemetry
+
+// Peer link states as /healthz reports them. The transport maps its
+// internal link machinery onto three operator-facing states: a link
+// that is up, a link that is down but still inside the reconnect grace
+// window, and a link that is gone for good (blame fired, a fatal
+// protocol error, or a fail-fast fabric's connection loss).
+const (
+	StateConnected    = "connected"
+	StateReconnecting = "reconnecting"
+	StateDead         = "dead"
+)
+
+// PeerHealth is one peer link's live state, as reported by a fabric's
+// Health method and rendered by /healthz.
+type PeerHealth struct {
+	// Peer is the remote party's index.
+	Peer int `json:"peer"`
+	// State is one of StateConnected, StateReconnecting, StateDead.
+	State string `json:"state"`
+	// LastContactMS is how many milliseconds ago this endpoint last
+	// heard anything (data, ack or heartbeat) from the peer; -1 before
+	// first contact.
+	LastContactMS int64 `json:"last_contact_ms"`
+	// HeartbeatRTTMS is the most recent heartbeat round-trip time in
+	// milliseconds, 0 until one has been measured (recovering fabric
+	// only).
+	HeartbeatRTTMS float64 `json:"heartbeat_rtt_ms,omitempty"`
+}
+
+// HealthSource is implemented by the transport fabrics: a live per-peer
+// link state snapshot. The admin endpoint resolves it through the
+// registry at request time, because the fabric is constructed after the
+// admin server starts listening.
+type HealthSource interface {
+	Health() []PeerHealth
+}
+
+// SetHealthSource installs (or replaces) the fabric the /healthz
+// endpoint reports on. Safe to call at any time, including never — the
+// endpoint reports "starting" until a source exists.
+func (r *Registry) SetHealthSource(h HealthSource) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.health = h
+	r.mu.Unlock()
+}
+
+// HealthSource returns the installed source, or nil.
+func (r *Registry) HealthSource() HealthSource {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.health
+}

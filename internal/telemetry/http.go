@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// The admin endpoint contract (DESIGN.md §3.7):
+//
+//	GET /metrics      Prometheus text exposition of the registry plus
+//	                  any extra collectors (e.g. obsv's per-party op
+//	                  totals). Always 200; scrape-safe mid-run.
+//	GET /healthz      JSON per-peer link state. 200 when every link is
+//	                  connected, 503 while starting, degraded or dead —
+//	                  so a load balancer or supervisor can act on it.
+//	GET /debug/pprof  the standard Go profiler surface.
+
+// healthReport is the /healthz response body.
+type healthReport struct {
+	Status string       `json:"status"` // ok | degraded | starting
+	Peers  []PeerHealth `json:"peers,omitempty"`
+}
+
+// AdminMux builds the admin HTTP handler over a registry. Extra
+// collectors are appended to the /metrics output after the registry's
+// own families; a failing collector aborts the scrape with a 500 so
+// partial exposition is never served as complete.
+func AdminMux(reg *Registry, collect ...func(io.Writer) error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		// Render into a buffer first: an error mid-stream must become a
+		// clean 500, not a truncated 200.
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, c := range collect {
+			if c == nil {
+				continue
+			}
+			if err := c(&buf); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		report := healthReport{Status: "starting"}
+		code := http.StatusServiceUnavailable
+		if src := reg.HealthSource(); src != nil {
+			report.Status = "ok"
+			report.Peers = src.Health()
+			code = http.StatusOK
+			for _, p := range report.Peers {
+				if p.State != StateConnected {
+					report.Status = "degraded"
+					code = http.StatusServiceUnavailable
+					break
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(report)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

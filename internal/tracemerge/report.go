@@ -1,0 +1,55 @@
+package tracemerge
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteText renders the timeline as the two benchtab-style tables the
+// repository's other tooling uses: per-phase (wall clock, straggler and
+// its compute) and per-party (busy/wait/compute split), topped by the
+// run-level verdict.
+func (tl *Timeline) WriteText(w io.Writer) error {
+	id := tl.TraceID
+	if id == "" {
+		id = "(none)"
+	}
+	fmt.Fprintf(w, "trace %s: %d parties, %d phases\n", id, len(tl.Parties), len(tl.Phases))
+	fmt.Fprintf(w, "critical path %s (sum of per-phase straggler compute)\n", fmtUS(tl.CriticalPathUS))
+	fmt.Fprintf(w, "straggler: party %d (%s compute)\n\n", tl.Straggler, fmtUS(tl.StragglerComputeUS))
+
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\twall\tparties\tstraggler\tcompute\tnote")
+	for _, ph := range tl.Phases {
+		note := ""
+		for _, pp := range ph.Parties {
+			if pp.Open {
+				note = fmt.Sprintf("party %d never finished", pp.Party)
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\tparty %d\t%s\t%s\n",
+			ph.Phase, fmtUS(ph.WallUS), len(ph.Parties), ph.Straggler, fmtUS(ph.StragglerComputeUS), note)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "party\tbusy\twait\tcompute\twait%")
+	for _, pr := range tl.Parties {
+		pct := int64(0)
+		if pr.BusyUS > 0 {
+			pct = pr.WaitUS * 100 / pr.BusyUS
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%d%%\n",
+			pr.Party, fmtUS(pr.BusyUS), fmtUS(pr.WaitUS), fmtUS(pr.ComputeUS), pct)
+	}
+	return tw.Flush()
+}
+
+// WriteJSON renders the timeline as indented JSON for downstream
+// tooling.
+func (tl *Timeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tl)
+}

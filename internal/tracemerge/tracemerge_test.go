@@ -1,0 +1,147 @@
+package tracemerge
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var fixtureFiles = []string{
+	"testdata/straggler-p0.jsonl",
+	"testdata/straggler-p1.jsonl",
+	"testdata/straggler-p2.jsonl",
+	"testdata/straggler-p3.jsonl",
+}
+
+func loadFixture(t *testing.T) *Timeline {
+	t.Helper()
+	traces, err := LoadFiles(fixtureFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := Merge(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+// TestMergeStragglerGolden pins the analyzer's output byte-for-byte on
+// a committed 4-party run whose party 2 was injected with a ~200ms
+// per-phase delay. The fixture's traces are skewed by 7s per party, so
+// a passing test also proves the session-barrier clock alignment: a
+// regression that merges raw clocks moves every number.
+func TestMergeStragglerGolden(t *testing.T) {
+	tl := loadFixture(t)
+	for _, g := range []struct {
+		name  string
+		write func(*Timeline, *bytes.Buffer) error
+	}{
+		{"testdata/straggler.golden.txt", func(tl *Timeline, b *bytes.Buffer) error { return tl.WriteText(b) }},
+		{"testdata/straggler.golden.json", func(tl *Timeline, b *bytes.Buffer) error { return tl.WriteJSON(b) }},
+	} {
+		want, err := os.ReadFile(g.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := g.write(tl, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s drifted:\n--- got ---\n%s\n--- want ---\n%s", filepath.Base(g.name), got.Bytes(), want)
+		}
+	}
+}
+
+// TestMergeStragglerVerdict asserts the analysis itself — the part the
+// golden files render: the injected straggler is named, per phase and
+// overall, and the critical path sums the per-phase straggler compute.
+func TestMergeStragglerVerdict(t *testing.T) {
+	tl := loadFixture(t)
+	if tl.Straggler != 2 {
+		t.Fatalf("overall straggler = party %d, want party 2 (the injected one)", tl.Straggler)
+	}
+	var critical int64
+	for _, ph := range tl.Phases {
+		critical += ph.StragglerComputeUS
+		if ph.Phase == "session" {
+			continue // the handshake predates the injected delay
+		}
+		if ph.Straggler != 2 {
+			t.Errorf("phase %s straggler = party %d, want party 2", ph.Phase, ph.Straggler)
+		}
+		// Every other party's span is stretched to the straggler's pace,
+		// so duration alone must NOT identify it — that is the point of
+		// the wait-vs-compute split.
+		for _, pp := range ph.Parties {
+			if pp.Party != 2 && pp.Party != 0 && pp.DurUS < ph.StragglerComputeUS-20000 {
+				t.Errorf("phase %s: party %d's wall %dus is not stretched by the straggler", ph.Phase, pp.Party, pp.DurUS)
+			}
+		}
+	}
+	if tl.CriticalPathUS != critical {
+		t.Errorf("critical path %dus != sum of per-phase straggler compute %dus", tl.CriticalPathUS, critical)
+	}
+	if tl.CriticalPathUS != 628200 {
+		t.Errorf("critical path = %dus, want 628200", tl.CriticalPathUS)
+	}
+}
+
+// TestMergeClockAlignment pins the re-anchoring rule: after the merge,
+// every party's session span ends at time zero, regardless of the 7s
+// clock skew baked into the fixtures.
+func TestMergeClockAlignment(t *testing.T) {
+	tl := loadFixture(t)
+	for _, ph := range tl.Phases {
+		if ph.Phase != "session" {
+			continue
+		}
+		for _, pp := range ph.Parties {
+			if end := pp.StartUS + pp.DurUS; end != 0 {
+				t.Errorf("party %d's session span ends at %dus, want 0 (alignment barrier)", pp.Party, end)
+			}
+		}
+	}
+}
+
+// TestMergeRejectsMismatchedRuns covers the merge guards: traces from
+// different runs (different trace IDs) and the same party fed twice
+// are errors, not silently wrong timelines.
+func TestMergeRejectsMismatchedRuns(t *testing.T) {
+	a := []Span{{TraceID: "aaa", Party: 0, Phase: "gain", StartUS: 0, DurUS: 10}}
+	b := []Span{{TraceID: "bbb", Party: 1, Phase: "gain", StartUS: 0, DurUS: 10}}
+	if _, err := Merge([][]Span{a, b}); err == nil || !strings.Contains(err.Error(), "trace ID mismatch") {
+		t.Errorf("mismatched trace IDs merged: %v", err)
+	}
+	if _, err := Merge([][]Span{a, a}); err == nil || !strings.Contains(err.Error(), "two traces") {
+		t.Errorf("duplicated party merged: %v", err)
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("empty merge succeeded")
+	}
+}
+
+// TestMergeSingleFileSharedClock pins that a one-file input (an
+// in-process run's combined trace) is not re-anchored: all parties
+// already share a clock.
+func TestMergeSingleFileSharedClock(t *testing.T) {
+	one := []Span{
+		{Party: 0, Phase: "session", StartUS: 100, DurUS: 50},
+		{Party: 1, Phase: "session", StartUS: 110, DurUS: 40},
+		{Party: 0, Phase: "gain", StartUS: 150, DurUS: 30},
+	}
+	tl, err := Merge([][]Span{one})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range tl.Phases {
+		for _, pp := range ph.Parties {
+			if pp.StartUS < 100 {
+				t.Errorf("single-file span start %dus was shifted", pp.StartUS)
+			}
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"groupranking/internal/telemetry"
 )
 
 // This file implements the crash-recovery transport: a TCP mesh whose
@@ -102,6 +104,10 @@ type RecoverOptions struct {
 	RetransmitLimit int
 	// MeshTimeout bounds initial mesh formation (default 10s).
 	MeshTimeout time.Duration
+	// Telemetry, when non-nil, feeds the live metrics registry: redials,
+	// reconnects, retransmissions, ack lag, heartbeat RTT and per-round
+	// wall time. Nil disables instrumentation at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 func (o RecoverOptions) withDefaults() RecoverOptions {
@@ -147,13 +153,20 @@ type rhello struct {
 }
 
 // renv is the recovery link's wire frame. Ack piggybacks the sender's
-// cumulative receive progress on every frame.
+// cumulative receive progress on every frame. T/EchoT implement the
+// heartbeat RTT probe on frames the link exchanges anyway: a heartbeat
+// stamps T with the sender's clock, the receiver echoes it back in the
+// EchoT of its ack, and the original sender — reading its own clock
+// again — observes the round trip. No extra frames, no protocol-stat
+// drift (control frames are never counted).
 type renv struct {
 	Kind    uint8
 	Round   int
 	Seq     uint64
 	Bytes   int
 	Ack     uint64
+	T       int64 // heartbeat send time (sender's unix nanos), 0 otherwise
+	EchoT   int64 // echoed T from the heartbeat being acknowledged
 	Payload any
 }
 
@@ -187,6 +200,11 @@ type rlink struct {
 
 	// downNotify wakes the dialer-side maintainer to redial.
 	downNotify chan struct{}
+
+	// Liveness telemetry, guarded by mu like the link state it mirrors.
+	lastContact time.Time     // last frame of any kind from the peer
+	lastRTT     time.Duration // most recent heartbeat round trip
+	tm          linkMetrics
 }
 
 // RecoveringTCPFabric implements Net over a self-healing TCP mesh with
@@ -200,6 +218,7 @@ type RecoveringTCPFabric struct {
 
 	links []*rlink
 	inbox []chan renv
+	tm    *netMetrics
 
 	ln net.Listener
 
@@ -249,6 +268,7 @@ func NewRecoveringTCPFabric(addrs []string, me int, timeout time.Duration, opts 
 		rounds:  make(map[int]RoundStats),
 		closeCh: make(chan struct{}),
 	}
+	f.tm = newNetMetrics(opts.Telemetry)
 	for peer := 0; peer < n; peer++ {
 		if peer == me {
 			continue
@@ -257,6 +277,7 @@ func NewRecoveringTCPFabric(addrs []string, me int, timeout time.Duration, opts 
 			peer:       peer,
 			blame:      make(chan struct{}),
 			downNotify: make(chan struct{}, 1),
+			tm:         f.tm.link(peer),
 		}
 		if opts.Journal != nil {
 			sent, err := opts.Journal.SentTo(peer)
@@ -277,6 +298,7 @@ func NewRecoveringTCPFabric(addrs []string, me int, timeout time.Duration, opts 
 			for _, m := range sent {
 				l.buf = append(l.buf, renv{Kind: frameData, Round: m.Round, Seq: m.Seq, Bytes: m.Bytes, Payload: m.Payload})
 			}
+			l.tm.ackLag.Set(float64(len(l.buf)))
 		}
 		f.links[peer] = l
 		f.inbox[peer] = make(chan renv, 4096)
@@ -364,6 +386,42 @@ func (f *RecoveringTCPFabric) downPeers() []int {
 			out = append(out, l.peer)
 		}
 		l.mu.Unlock()
+	}
+	return out
+}
+
+// Health reports the live state of every peer link for the /healthz
+// endpoint: connected, reconnecting (down but within the grace
+// window), or dead (blame assigned or the link hit a fatal error).
+func (f *RecoveringTCPFabric) Health() []telemetry.PeerHealth {
+	out := make([]telemetry.PeerHealth, 0, f.n-1)
+	for _, l := range f.links {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		h := telemetry.PeerHealth{Peer: l.peer, LastContactMS: -1}
+		if !l.lastContact.IsZero() {
+			h.LastContactMS = time.Since(l.lastContact).Milliseconds()
+		}
+		if l.lastRTT > 0 {
+			h.HeartbeatRTTMS = float64(l.lastRTT) / float64(time.Millisecond)
+		}
+		switch {
+		case l.fatal != nil:
+			h.State = telemetry.StateDead
+		case l.up:
+			h.State = telemetry.StateConnected
+		default:
+			h.State = telemetry.StateReconnecting
+			select {
+			case <-l.blame:
+				h.State = telemetry.StateDead
+			default:
+			}
+		}
+		l.mu.Unlock()
+		out = append(out, h)
 	}
 	return out
 }
@@ -461,6 +519,7 @@ func (f *RecoveringTCPFabric) maintain(l *rlink) {
 
 // dialPeer attempts one connection + handshake to a lower-indexed peer.
 func (f *RecoveringTCPFabric) dialPeer(l *rlink) bool {
+	l.tm.redials.Inc()
 	conn, err := net.DialTimeout("tcp", f.addrs[l.peer], handshakeDeadline)
 	if err != nil {
 		return false
@@ -521,6 +580,9 @@ func (f *RecoveringTCPFabric) attach(l *rlink, conn net.Conn, enc *gob.Encoder, 
 	}
 	conn.SetWriteDeadline(time.Time{})
 	l.up = true
+	l.tm.connects.Inc()
+	l.tm.retransmits.Add(int64(len(l.buf)))
+	l.tm.linkUp.Set(1)
 	// A reconnect within the grace window cancels pending blame.
 	if l.blameCancel != nil {
 		close(l.blameCancel)
@@ -551,6 +613,7 @@ func (f *RecoveringTCPFabric) markDownLocked(l *rlink, conn net.Conn) {
 	conn.Close()
 	l.conn, l.enc = nil, nil
 	l.up = false
+	l.tm.linkUp.Set(0)
 	f.armBlameLocked(l)
 	select {
 	case l.downNotify <- struct{}{}:
@@ -594,6 +657,7 @@ func (f *RecoveringTCPFabric) fatalLocked(l *rlink, err error) {
 		l.conn, l.enc = nil, nil
 	}
 	l.up = false
+	l.tm.linkUp.Set(0)
 	select {
 	case <-l.blame:
 	default:
@@ -624,10 +688,28 @@ func (f *RecoveringTCPFabric) pump(l *rlink, conn net.Conn, dec *gob.Decoder) {
 
 // handleFrame processes one decoded frame; false stops the pump.
 func (f *RecoveringTCPFabric) handleFrame(l *rlink, env renv) bool {
+	now := time.Now()
 	l.mu.Lock()
+	l.lastContact = now
 	l.trimAckLocked(env.Ack)
+	if env.EchoT != 0 {
+		// Our own heartbeat stamp coming back: both clock reads are ours,
+		// so the difference is a true round trip (guarded against a wall
+		// clock stepping backwards between them).
+		if rtt := now.Sub(time.Unix(0, env.EchoT)); rtt >= 0 {
+			l.lastRTT = rtt
+			f.tm.observeRTT(rtt)
+		}
+	}
 	if env.Kind != frameData {
+		reply := renv{}
+		if env.Kind == frameHeartbeat && env.T != 0 {
+			reply = renv{Kind: frameAck, Ack: l.recvNext, EchoT: env.T}
+		}
 		l.mu.Unlock()
+		if reply.Kind != 0 {
+			f.sendControl(l, reply)
+		}
 		return true
 	}
 	switch {
@@ -682,6 +764,7 @@ func (l *rlink) trimAckLocked(ack uint64) {
 		i++
 	}
 	l.buf = append([]renv(nil), l.buf[i:]...)
+	l.tm.ackLag.Set(float64(len(l.buf)))
 }
 
 // sendControl writes a heartbeat or ack frame, best-effort: control
@@ -725,7 +808,7 @@ func (f *RecoveringTCPFabric) heartbeatLoop() {
 				l.mu.Lock()
 				ack := l.recvNext
 				l.mu.Unlock()
-				f.sendControl(l, renv{Kind: frameHeartbeat, Ack: ack})
+				f.sendControl(l, renv{Kind: frameHeartbeat, Ack: ack, T: time.Now().UnixNano()})
 			}
 		}
 	}
@@ -752,6 +835,7 @@ func (f *RecoveringTCPFabric) Send(round, from, to, bytes int, payload any) erro
 	// Echo sub-round traffic is consistency-layer overhead, tallied
 	// apart from the protocol counters.
 	f.mu.Lock()
+	newRound := false
 	if IsEchoRound(round) {
 		f.echoMsgs++
 		f.echoBytes += int64(bytes)
@@ -761,11 +845,13 @@ func (f *RecoveringTCPFabric) Send(round, from, to, bytes int, payload any) erro
 		if round > f.maxRound {
 			f.maxRound = round
 		}
-		rs := f.rounds[round]
+		rs, seen := f.rounds[round]
+		newRound = !seen
 		rs.Messages++
 		rs.Bytes += int64(bytes)
 		f.rounds[round] = rs
 	}
+	f.tm.onSendLocked(round, bytes, newRound)
 	f.mu.Unlock()
 
 	l := f.links[to]
@@ -800,6 +886,7 @@ func (f *RecoveringTCPFabric) Send(round, from, to, bytes int, payload any) erro
 			ErrRetransmitOverflow, len(l.buf), to))
 	}
 	l.buf = append(l.buf, env)
+	l.tm.ackLag.Set(float64(len(l.buf)))
 	if l.up && l.enc != nil {
 		if f.timeout > 0 {
 			l.conn.SetWriteDeadline(time.Now().Add(f.timeout))

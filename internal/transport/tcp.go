@@ -7,7 +7,10 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"groupranking/internal/telemetry"
 )
 
 // TCPFabric implements Net over real TCP connections, so the protocol
@@ -43,6 +46,11 @@ type TCPFabric struct {
 	echoMsgs  int64
 	echoBytes int64
 	recvErr  []error // first reader-pump error per peer
+	tm       *netMetrics
+
+	// lastSeen[peer] is the unix-nano time of the last frame the reader
+	// pump decoded from that peer (atomic; 0 before first contact).
+	lastSeen []int64
 
 	closeOnce sync.Once
 	closeCh   chan struct{}
@@ -88,10 +96,11 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 		encs:    make([]*gob.Encoder, n),
 		encMu:   make([]sync.Mutex, n),
 		inbox:   make([]chan envelope, n),
-		timeout: timeout,
-		rounds:  make(map[int]RoundStats),
-		recvErr: make([]error, n),
-		closeCh: make(chan struct{}),
+		timeout:  timeout,
+		rounds:   make(map[int]RoundStats),
+		recvErr:  make([]error, n),
+		lastSeen: make([]int64, n),
+		closeCh:  make(chan struct{}),
 	}
 	for i := range f.inbox {
 		f.inbox[i] = make(chan envelope, 4096)
@@ -225,6 +234,7 @@ func (f *TCPFabric) attachWithEncoder(peer int, conn net.Conn, enc *gob.Encoder,
 				close(f.inbox[peer])
 				return
 			}
+			atomic.StoreInt64(&f.lastSeen[peer], time.Now().UnixNano())
 			select {
 			case f.inbox[peer] <- env:
 			case <-f.closeCh:
@@ -249,6 +259,7 @@ func (f *TCPFabric) Send(round, from, to, bytes int, payload any) error {
 		return fmt.Errorf("transport: invalid destination %d", to)
 	}
 	f.mu.Lock()
+	newRound := false
 	if IsEchoRound(round) {
 		f.echoMsgs++
 		f.echoBytes += int64(bytes)
@@ -258,11 +269,13 @@ func (f *TCPFabric) Send(round, from, to, bytes int, payload any) error {
 		if round > f.maxRound {
 			f.maxRound = round
 		}
-		rs := f.rounds[round]
+		rs, seen := f.rounds[round]
+		newRound = !seen
 		rs.Messages++
 		rs.Bytes += int64(bytes)
 		f.rounds[round] = rs
 	}
+	f.tm.onSendLocked(round, bytes, newRound)
 	conn := f.conns[to]
 	f.mu.Unlock()
 
@@ -382,13 +395,43 @@ func (f *TCPFabric) Stats() Stats {
 	return s
 }
 
-// LocalStats reports this endpoint's send counters.
-//
-// Deprecated: use Stats, which returns the same per-party shape as the
-// in-memory Fabric so callers need not special-case the transport.
-func (f *TCPFabric) LocalStats() (messages, bytes int64, rounds int) {
-	s := f.Stats()
-	return s.MessagesSent[f.me], s.BytesSent[f.me], s.DistinctRounds
+// SetTelemetry attaches a live metrics registry to this endpoint. Call
+// it before protocol traffic starts; a nil registry (or never calling
+// it) leaves the hot path with a single nil check per send.
+func (f *TCPFabric) SetTelemetry(reg *telemetry.Registry) {
+	f.mu.Lock()
+	f.tm = newNetMetrics(reg)
+	f.mu.Unlock()
+}
+
+// Health implements telemetry.HealthSource: the plain fabric's links
+// are either connected or dead (there is no reconnect machinery —
+// a lost connection stays lost and aborts the session).
+func (f *TCPFabric) Health() []telemetry.PeerHealth {
+	closed := false
+	select {
+	case <-f.closeCh:
+		closed = true
+	default:
+	}
+	out := make([]telemetry.PeerHealth, 0, f.n-1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for peer := 0; peer < f.n; peer++ {
+		if peer == f.me {
+			continue
+		}
+		state := telemetry.StateConnected
+		if closed || f.recvErr[peer] != nil || f.conns[peer] == nil {
+			state = telemetry.StateDead
+		}
+		last := int64(-1)
+		if ns := atomic.LoadInt64(&f.lastSeen[peer]); ns != 0 {
+			last = time.Since(time.Unix(0, ns)).Milliseconds()
+		}
+		out = append(out, telemetry.PeerHealth{Peer: peer, State: state, LastContactMS: last})
+	}
+	return out
 }
 
 // Close tears down the endpoint gracefully: it stops the reader pumps,

@@ -164,11 +164,6 @@ func TestTCPStats(t *testing.T) {
 	if rs := s.PerRound[7]; rs.Messages != 1 || rs.Bytes != 100 {
 		t.Errorf("per-round[7] = %+v", rs)
 	}
-	// Deprecated surface stays consistent with Stats.
-	msgs, bytes, rounds := fabrics[0].LocalStats()
-	if msgs != 1 || bytes != 100 || rounds != 1 {
-		t.Errorf("LocalStats = %d msgs, %d bytes, %d rounds", msgs, bytes, rounds)
-	}
 }
 
 func TestTCPClosedPeerSurfacesError(t *testing.T) {

@@ -48,6 +48,9 @@ type InitiatorResult struct {
 	// Rounds is the number of distinct communication rounds this
 	// endpoint took part in.
 	Rounds int
+	// TraceID is the run-level trace identifier the session round
+	// agreed on; every span this party exported carries it.
+	TraceID string
 }
 
 // ParticipantResult is what RankParticipantParty learns: its own rank
@@ -62,6 +65,9 @@ type ParticipantResult struct {
 	// Rounds is the number of distinct communication rounds this
 	// endpoint took part in.
 	Rounds int
+	// TraceID is the run-level trace identifier the session round
+	// agreed on; every span this party exported carries it.
+	TraceID string
 }
 
 // RankInitiatorParty runs the initiator's side of the full framework
@@ -95,7 +101,7 @@ func RankInitiatorPartyCtx(ctx context.Context, q *Questionnaire, criterion Crit
 	if err != nil {
 		return nil, err
 	}
-	res2 := &InitiatorResult{Submissions: subs, Suspicious: flagged, BytesOnWire: res.BytesOnWire, Rounds: res.Rounds}
+	res2 := &InitiatorResult{Submissions: subs, Suspicious: flagged, BytesOnWire: res.BytesOnWire, Rounds: res.Rounds, TraceID: res.TraceID}
 	return res2, nil
 }
 
@@ -133,7 +139,7 @@ func RankParticipantPartyCtx(ctx context.Context, q *Questionnaire, addrs []stri
 	if err != nil {
 		return nil, err
 	}
-	return &ParticipantResult{Rank: out.Rank, BytesOnWire: res.BytesOnWire, Rounds: res.Rounds}, nil
+	return &ParticipantResult{Rank: out.Rank, BytesOnWire: res.BytesOnWire, Rounds: res.Rounds, TraceID: res.TraceID}, nil
 }
 
 // rankPartyParams resolves the shared options into the framework
@@ -275,22 +281,27 @@ func runRankParty(ctx context.Context, params core.Params, o Options, addrs []st
 	var fab partyFabric
 	if rec != nil {
 		defer rec.journal.Close()
+		rec.journal.SetTelemetry(o.Telemetry)
 		rfab, err := transport.NewRecoveringTCPFabric(addrs, me, o.Timeout, transport.RecoverOptions{
 			SessionID: rec.sessionID,
 			Epoch:     rec.epoch,
 			Journal:   rec.journal,
 			Grace:     o.Recovery.Grace,
 			Heartbeat: o.Recovery.Heartbeat,
+			Telemetry: o.Telemetry,
 		})
 		if err != nil {
 			return nil, err
 		}
+		o.Telemetry.SetHealthSource(rfab)
 		fab = rfab
 	} else {
 		tfab, err := transport.NewTCPFabric(addrs, me, o.Timeout)
 		if err != nil {
 			return nil, err
 		}
+		tfab.SetTelemetry(o.Telemetry)
+		o.Telemetry.SetHealthSource(tfab)
 		fab = tfab
 	}
 	defer fab.Close()
@@ -304,9 +315,14 @@ func runRankParty(ctx context.Context, params core.Params, o Options, addrs []st
 	if o.Faults != nil {
 		net = transport.NewFaultNet(fab, *o.Faults)
 	}
-	if err := core.EstablishSessionCtx(ctx, params, me, net); err != nil {
+	// The session round doubles as trace-ID agreement: every party
+	// proposes an ID derived from its own seed, party 0's wins, and the
+	// agreed ID stamps every span this party exports.
+	traceID, err := core.EstablishSessionCtx(ctx, params, me, net, core.DeriveTraceID(o.Seed))
+	if err != nil {
 		return nil, err
 	}
+	o.Observer.SetTraceID(traceID)
 	if err := role(ctx, net); err != nil {
 		return nil, transport.EnsureAbort(err, -1, "framework")
 	}
@@ -318,5 +334,5 @@ func runRankParty(ctx context.Context, params core.Params, o Options, addrs []st
 		rfab.Drain(0)
 	}
 	stats := fab.Stats()
-	return &ParticipantResult{BytesOnWire: stats.TotalBytes(), Rounds: stats.DistinctRounds}, nil
+	return &ParticipantResult{BytesOnWire: stats.TotalBytes(), Rounds: stats.DistinctRounds, TraceID: traceID}, nil
 }
