@@ -9,9 +9,16 @@ GO ?= go
 # mode as part of check.
 RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./internal/journal/ ./internal/blame/ ./internal/telemetry/ ./internal/tracemerge/ ./cmd/rankparty/
 
-.PHONY: check vet build test race race-full chaos chaos-byz bench bench-json bench-compare trace-demo demo-distributed telemetry-demo clean
+# Packages with fuzz targets guarding the untrusted decode boundaries
+# (group element parsing, wirecodec frames, transport pumps). `make
+# fuzz` runs each target briefly — a smoke pass over the corpora plus a
+# little fresh exploration, fast enough for check.
+FUZZ_PKGS := ./internal/group/ ./internal/wirecodec/ ./internal/elgamal/ ./internal/transport/
+FUZZ_TIME ?= 2s
 
-check: vet build test race
+.PHONY: check vet build test race race-full fuzz chaos chaos-byz bench bench-json bench-compare trace-demo demo-distributed telemetry-demo clean
+
+check: vet build test race fuzz
 
 # staticcheck is optional tooling: run it when the developer has it
 # installed, stay silent (and green) when they do not.
@@ -32,6 +39,18 @@ race:
 
 race-full:
 	$(GO) test -race $(RACE_PKGS) ./internal/chaos/
+
+# Short-fuzz smoke: every Fuzz target in FUZZ_PKGS runs for FUZZ_TIME
+# (one target at a time — go test allows a single -fuzz pattern per
+# invocation). Catches decode-boundary panics before they need a long
+# dedicated fuzzing session.
+fuzz:
+	@set -e; for pkg in $(FUZZ_PKGS); do \
+		for target in $$($(GO) test -list 'Fuzz.*' $$pkg | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$target ($(FUZZ_TIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) $$pkg; \
+		done; \
+	done
 
 # The randomized fault-injection suite at full schedule count, plus the
 # kill-and-restart crash-recovery schedules, under the race detector.

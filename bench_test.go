@@ -310,6 +310,10 @@ func TestBenchSnapshot(t *testing.T) {
 		if e.NsPerOp <= 0 || e.BytesOnWire <= 0 || e.MsgsOnWire <= 0 || e.Rounds <= 0 {
 			t.Errorf("%s: non-positive measurement: %+v", e.Name, e)
 		}
+		if e.BytesPerOp != e.BytesOnWire/e.MsgsOnWire {
+			t.Errorf("%s: bytes per op %d inconsistent with %d bytes over %d messages",
+				e.Name, e.BytesPerOp, e.BytesOnWire, e.MsgsOnWire)
+		}
 		if e.ExpsPerParticipant != e.ExpsModel {
 			t.Errorf("%s: measured %d exps per participant, model says %d",
 				e.Name, e.ExpsPerParticipant, e.ExpsModel)

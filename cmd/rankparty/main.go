@@ -92,6 +92,8 @@ func run() int {
 		crashParty   = flag.Int("fault-crash-party", -1, "party index to crash (-1 = none; 0 = initiator)")
 		crashRound   = flag.Int("fault-crash-round", 0, "round at which the crashed party dies")
 		equivocate   = flag.Bool("fault-equivocate", false, "Byzantine demo: THIS party equivocates on its broadcasts (honest peers must abort and blame it)")
+
+		wireCodec = flag.Int("wire-codec", 0, "testing: announce this wire-codec version in session establishment (0 = this build's version); mismatched parties refuse the session")
 	)
 	flag.Parse()
 
@@ -140,9 +142,10 @@ func run() int {
 		GroupName: *groupName,
 		K:         *k,
 		D1:        *d1, D2: *d2, H: *h,
-		Seed:    *seed,
-		Timeout: *timeout,
-		Workers: *workers,
+		Seed:      *seed,
+		Timeout:   *timeout,
+		Workers:   *workers,
+		WireCodec: *wireCodec,
 	}
 	if *journalDir != "" {
 		opts.Recovery = &groupranking.RecoveryOptions{Dir: *journalDir, Grace: *grace, Heartbeat: *heartbeat}

@@ -109,6 +109,50 @@ func TestFourProcessesComplete(t *testing.T) {
 	}
 }
 
+// TestCodecVersionRefused starts a real four-process mesh where one
+// participant announces a different wire-codec version. Session
+// establishment must refuse the session on every endpoint — exit
+// non-zero with a diagnostic naming the codec field, before any crypto
+// phase runs. This is the process-level proof that a cross-build codec
+// skew cannot reach the protocol as undecodable frames.
+func TestCodecVersionRefused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test skipped in short mode")
+	}
+	leakcheck.Check(t)
+	bin := buildBinary(t)
+	addrs, err := transport.FreeLoopbackAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const skewed = 2
+	results := make([]partyResult, 4)
+	var wg sync.WaitGroup
+	for me := 0; me < 4; me++ {
+		me := me
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var extra []string
+			if me == skewed {
+				extra = []string{"-wire-codec", "99"}
+			}
+			cmd, buf := startParty(bin, addrs, me, 30*time.Second, extra...)
+			err := cmd.Run()
+			results[me] = partyResult{out: buf.Bytes(), err: err, code: cmd.ProcessState.ExitCode()}
+		}()
+	}
+	wg.Wait()
+	for me, r := range results {
+		if r.code == 0 {
+			t.Fatalf("party %d completed despite the codec skew: %s", me, r.out)
+		}
+		if me != skewed && !strings.Contains(string(r.out), "codec version") {
+			t.Errorf("party %d diagnostic %q does not name the codec field", me, r.out)
+		}
+	}
+}
+
 // TestSurvivorsAbortWhenParticipantKilled lets one participant die
 // right after joining the mesh: the three surviving OS processes must
 // exit non-zero with the abort protocol's diagnostic naming the dead

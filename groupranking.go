@@ -162,6 +162,12 @@ type Options struct {
 	// session instead of forcing a full abort. Nil (the default) keeps
 	// the fail-fast transport; in-process runs ignore it entirely.
 	Recovery *RecoveryOptions
+	// WireCodec overrides the wire-codec version this party announces in
+	// session establishment (0 = the build's own version). It exists to
+	// TEST the cross-version refusal path — two parties announcing
+	// different codec versions abort the handshake with a named
+	// mismatch; it does not change how frames are encoded.
+	WireCodec int
 }
 
 // RecoveryOptions configures the crash-recovery runtime of a

@@ -53,6 +53,12 @@ type SnapshotEntry struct {
 	BytesOnWire int64 `json:"bytes_on_wire"`
 	MsgsOnWire  int64 `json:"msgs_on_wire"`
 	Rounds      int   `json:"rounds"`
+	// BytesPerOp is the average wire cost of one transported message
+	// (BytesOnWire / MsgsOnWire, rounded down). The message count is
+	// pinned by the drift gate, so this column isolates per-message
+	// encoding efficiency — it is what moves when the wire format
+	// changes and nothing else does.
+	BytesPerOp int64 `json:"bytes_per_op"`
 }
 
 // SpeedupEntry records the parallel-kernel comparison: the same
@@ -221,6 +227,7 @@ func runSnapshotConfig(name string, g group.Group, sorter core.Sorter, n int) (S
 		BytesOnWire:        stats.TotalBytes(),
 		MsgsOnWire:         msgs,
 		Rounds:             stats.DistinctRounds,
+		BytesPerOp:         stats.TotalBytes() / msgs,
 	}, nil
 }
 

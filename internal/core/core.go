@@ -87,6 +87,13 @@ type Params struct {
 	// out on (0 = NumCPU, 1 = serial). Results are bit-identical at
 	// every worker count: randomness is always drawn serially.
 	Workers int
+	// WireCodec overrides the wire-codec version this party announces
+	// during session establishment (0 = wirecodec.Version, the build's
+	// native format). Parties announcing different codec versions
+	// refuse each other with ErrSessionMismatch naming the codec field
+	// before any crypto is spent. The override exists for exactly that
+	// refusal path — deployments have no reason to set it.
+	WireCodec int
 }
 
 // Validate checks parameter consistency.

@@ -9,6 +9,7 @@ import (
 
 	"groupranking/internal/obsv"
 	"groupranking/internal/transport"
+	"groupranking/internal/wirecodec"
 )
 
 // ErrSessionMismatch is the cause carried by the typed abort when the
@@ -21,15 +22,21 @@ var ErrSessionMismatch = errors.New("core: session parameters disagree")
 // sessionVersion guards the wire format itself: parties running
 // incompatible builds abort in the handshake instead of failing with
 // a gob decode error deep inside a crypto phase. Version 2 added the
-// TraceID field to the announcement.
-const sessionVersion = 2
+// TraceID field to the announcement; version 3 added the pinned codec
+// version when the binary wire codecs replaced gob.
+const sessionVersion = 3
 
 // sessionMsg is the session-establishment announcement every party
 // broadcasts before any crypto is spent. It pins every parameter whose
 // disagreement would otherwise surface as garbage (wrong field sizes,
 // undecodable group elements, diverging rankings) rather than an error.
 type sessionMsg struct {
-	Version         int
+	Version int
+	// Codec is the wire-codec version (wirecodec.Version unless the
+	// deployment overrides it). Pinning it here turns a cross-build
+	// codec skew into a named session abort during establishment
+	// instead of an undecodable frame mid-protocol.
+	Codec           int
 	N, M, T         int
 	D1, D2, H, K    int
 	L               int // derived masked-gain width, double-checked explicitly
@@ -53,8 +60,13 @@ func sessionFromParams(p Params) sessionMsg {
 	if kappa <= 0 {
 		kappa = 40
 	}
+	codec := p.WireCodec
+	if codec == 0 {
+		codec = wirecodec.Version
+	}
 	return sessionMsg{
 		Version: sessionVersion,
+		Codec:   codec,
 		N:       p.N, M: p.M, T: p.T,
 		D1: p.D1, D2: p.D2, H: p.H, K: p.K,
 		L:               p.BetaBits(),
@@ -72,6 +84,8 @@ func (m sessionMsg) diff(o sessionMsg) string {
 	switch {
 	case m.Version != o.Version:
 		return fmt.Sprintf("wire version (mine %d, theirs %d)", m.Version, o.Version)
+	case m.Codec != o.Codec:
+		return fmt.Sprintf("codec version (mine %d, theirs %d)", m.Codec, o.Codec)
 	case m.N != o.N:
 		return fmt.Sprintf("party count n (mine %d, theirs %d)", m.N, o.N)
 	case m.M != o.M:

@@ -82,6 +82,31 @@ func TestEstablishSessionMismatch(t *testing.T) {
 	}
 }
 
+// TestEstablishSessionCodecMismatch: a party built with a different
+// wire-codec version is refused during establishment with an abort
+// naming the codec field — not left to fail on an undecodable frame
+// deep inside a crypto phase.
+func TestEstablishSessionCodecMismatch(t *testing.T) {
+	params := smallParams(t, 3)
+	all := make([]Params, params.N+1)
+	for i := range all {
+		all[i] = params
+	}
+	all[1].WireCodec = 99 // party 1 speaks a future codec
+	errs := establishAll(t, all)
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("party %d accepted the session despite the codec skew", i)
+		}
+		if !errors.Is(err, ErrSessionMismatch) {
+			t.Errorf("party %d: error %v does not carry ErrSessionMismatch", i, err)
+		}
+		if i != 1 && !strings.Contains(err.Error(), "codec version") {
+			t.Errorf("party %d: diagnosis %q does not name the codec field", i, err)
+		}
+	}
+}
+
 // TestEstablishSessionMalformed covers a peer that talks on the session
 // round without sending a session announcement at all.
 func TestEstablishSessionMalformed(t *testing.T) {

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"groupranking/internal/wirecodec"
+)
+
+// Hand-rolled wire codecs for the session layer's own messages. The
+// announcement is the first frame a party ever sends, so its codec is
+// deliberately flat fixed-width fields — any build that can parse a
+// frame header at all can parse it far enough for the version
+// comparison in diff() to produce a named mismatch.
+
+func appendSessionMsg(dst []byte, m sessionMsg) []byte {
+	for _, v := range []int{m.Version, m.Codec, m.N, m.M, m.T, m.D1, m.D2, m.H, m.K, m.L, m.Sorter, m.Kappa} {
+		dst = wirecodec.AppendI64(dst, int64(v))
+	}
+	dst = wirecodec.AppendString(dst, m.Group)
+	dst = wirecodec.AppendBool(dst, m.SkipProofs)
+	dst = wirecodec.AppendBool(dst, m.ProveDecryption)
+	dst = wirecodec.AppendString(dst, m.TraceID)
+	return dst
+}
+
+func decodeSessionMsg(data []byte) (sessionMsg, error) {
+	r := wirecodec.NewReader(data)
+	var m sessionMsg
+	for _, p := range []*int{&m.Version, &m.Codec, &m.N, &m.M, &m.T, &m.D1, &m.D2, &m.H, &m.K, &m.L, &m.Sorter, &m.Kappa} {
+		*p = r.Int()
+	}
+	m.Group = r.String()
+	m.SkipProofs = r.Bool()
+	m.ProveDecryption = r.Bool()
+	m.TraceID = r.String()
+	if err := r.Finish(); err != nil {
+		return sessionMsg{}, fmt.Errorf("core: session announcement: %w", err)
+	}
+	return m, nil
+}
+
+func init() {
+	wirecodec.Register(wirecodec.IDRangeCore, "session announcement",
+		[]any{sessionMsg{}},
+		func(dst []byte, v any) ([]byte, error) { return appendSessionMsg(dst, v.(sessionMsg)), nil },
+		func(data []byte) (any, error) { return decodeSessionMsg(data) })
+
+	wirecodec.Register(wirecodec.IDRangeCore+1, "profile submission",
+		[]any{submissionMsg{}},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(submissionMsg)
+			dst = wirecodec.AppendBool(dst, m.Declined)
+			dst = wirecodec.AppendI64(dst, int64(m.Rank))
+			dst = wirecodec.AppendU32(dst, uint32(len(m.Values)))
+			for _, val := range m.Values {
+				dst = wirecodec.AppendI64(dst, val)
+			}
+			return dst, nil
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			var m submissionMsg
+			m.Declined = r.Bool()
+			m.Rank = r.Int()
+			n := r.Count(8)
+			m.Values = make([]int64, 0, n)
+			for i := 0; i < n; i++ {
+				m.Values = append(m.Values, r.I64())
+			}
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("core: submission: %w", err)
+			}
+			return m, nil
+		})
+}

@@ -1,0 +1,107 @@
+package dotprod
+
+import (
+	"fmt"
+	"math/big"
+
+	"groupranking/internal/wirecodec"
+)
+
+// Hand-rolled wire forms for both protocol flows. Layouts:
+//
+//	BobMessage: u32 rows ‖ rows×(count-prefixed []*big.Int) ‖ CPrime ‖ G
+//	AliceReply: A ‖ H (sign ‖ u32 len ‖ magnitude each)
+//
+// Field-element range checks stay in Validate, which both receive
+// paths already run; decoding is structural only.
+
+// AppendBinary appends m's wire form to dst.
+func (m *BobMessage) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirecodec.AppendU32(dst, uint32(len(m.QX)))
+	var err error
+	for _, row := range m.QX {
+		if dst, err = wirecodec.AppendBigInts(dst, row); err != nil {
+			return nil, fmt.Errorf("dotprod: QX row: %w", err)
+		}
+	}
+	if dst, err = wirecodec.AppendBigInts(dst, m.CPrime); err != nil {
+		return nil, fmt.Errorf("dotprod: c': %w", err)
+	}
+	if dst, err = wirecodec.AppendBigInts(dst, m.G); err != nil {
+		return nil, fmt.Errorf("dotprod: g: %w", err)
+	}
+	return dst, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *BobMessage) MarshalBinary() ([]byte, error) {
+	return m.AppendBinary(make([]byte, 0, 256))
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *BobMessage) UnmarshalBinary(data []byte) error {
+	r := wirecodec.NewReader(data)
+	rows := r.Count(4)
+	qx := make([][]*big.Int, 0, rows)
+	for i := 0; i < rows; i++ {
+		qx = append(qx, r.BigInts())
+	}
+	cPrime := r.BigInts()
+	g := r.BigInts()
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("dotprod: bob message: %w", err)
+	}
+	m.QX, m.CPrime, m.G = qx, cPrime, g
+	return nil
+}
+
+// AppendBinary appends a's wire form to dst.
+func (a *AliceReply) AppendBinary(dst []byte) ([]byte, error) {
+	var err error
+	if dst, err = wirecodec.AppendBigInt(dst, a.A); err != nil {
+		return nil, fmt.Errorf("dotprod: a: %w", err)
+	}
+	if dst, err = wirecodec.AppendBigInt(dst, a.H); err != nil {
+		return nil, fmt.Errorf("dotprod: h: %w", err)
+	}
+	return dst, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (a *AliceReply) MarshalBinary() ([]byte, error) {
+	return a.AppendBinary(make([]byte, 0, 64))
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (a *AliceReply) UnmarshalBinary(data []byte) error {
+	r := wirecodec.NewReader(data)
+	av, hv := r.BigInt(), r.BigInt()
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("dotprod: alice reply: %w", err)
+	}
+	a.A, a.H = av, hv
+	return nil
+}
+
+func init() {
+	wirecodec.Register(wirecodec.IDRangeProtocol, "dotprod bob message",
+		[]any{&BobMessage{}},
+		func(dst []byte, v any) ([]byte, error) { return v.(*BobMessage).AppendBinary(dst) },
+		func(data []byte) (any, error) {
+			m := new(BobMessage)
+			if err := m.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wirecodec.Register(wirecodec.IDRangeProtocol+1, "dotprod alice reply",
+		[]any{&AliceReply{}},
+		func(dst []byte, v any) ([]byte, error) { return v.(*AliceReply).AppendBinary(dst) },
+		func(data []byte) (any, error) {
+			a := new(AliceReply)
+			if err := a.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return a, nil
+		})
+}

@@ -253,27 +253,20 @@ func (s *Scheme) DecryptSmall(x *big.Int, a Ciphertext, bound int64) (int64, boo
 // unit the communication cost model charges per ciphertext.
 func (s *Scheme) EncodedLen() int { return 2 * s.g.ElementLen() }
 
-// Encode serialises a ciphertext as C ‖ C1. Identity components are
-// padded to the fixed element length so the framing stays uniform.
+// Encode serialises a ciphertext as C ‖ C1, each component exactly
+// ElementLen bytes (the identity included — every Group guarantees a
+// fixed-width canonical encoding).
 func (s *Scheme) Encode(a Ciphertext) []byte {
-	out := make([]byte, 0, s.EncodedLen())
-	out = append(out, padTo(s.g.Encode(a.C), s.g.ElementLen())...)
-	out = append(out, padTo(s.g.Encode(a.C1), s.g.ElementLen())...)
-	return out
+	return s.AppendEncode(make([]byte, 0, s.EncodedLen()), a)
 }
 
-func padTo(b []byte, n int) []byte {
-	if len(b) == n {
-		return b
-	}
-	if len(b) > n {
-		// Slicing out[n-len(b):] below would panic with an opaque
-		// negative index; every Group now encodes at exactly
-		// ElementLen, so an oversized encoding is a broken Group
-		// implementation and deserves a descriptive report.
-		panic(fmt.Sprintf("elgamal: element encoding is %d bytes, exceeds ElementLen %d", len(b), n))
-	}
-	out := make([]byte, n)
-	copy(out[n-len(b):], b)
-	return out
+// AppendEncode appends the canonical C ‖ C1 serialisation to dst and
+// returns the extended slice. It is the hot-path form of Encode: the
+// old implementation copied each component twice (Encode, then a
+// defensive re-pad); this writes both straight into the caller's
+// buffer, and a reused buffer amortises to zero allocations per
+// ciphertext — pinned by TestAppendEncodeZeroAllocs.
+func (s *Scheme) AppendEncode(dst []byte, a Ciphertext) []byte {
+	dst = s.g.AppendElement(dst, a.C)
+	return s.g.AppendElement(dst, a.C1)
 }

@@ -1,0 +1,153 @@
+package elgamal
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/group"
+	"groupranking/internal/wirecodec"
+)
+
+func wireSchemes(t *testing.T) []*Scheme {
+	t.Helper()
+	dl, err := group.ToyDL256()
+	if err != nil {
+		t.Fatalf("ToyDL256: %v", err)
+	}
+	return []*Scheme{NewScheme(dl), NewScheme(group.Secp160r1())}
+}
+
+func sampleCiphertext(t *testing.T, s *Scheme) Ciphertext {
+	t.Helper()
+	rng := fixedbig.NewDRBG("elgamal-wire-test-" + s.Group().Name())
+	kp, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	ct, err := s.EncryptExp(kp.Y, big.NewInt(3), rng)
+	if err != nil {
+		t.Fatalf("EncryptExp: %v", err)
+	}
+	return ct
+}
+
+func TestCiphertextBinaryRoundtrip(t *testing.T) {
+	for _, s := range wireSchemes(t) {
+		g := s.Group()
+		for _, ct := range []Ciphertext{
+			sampleCiphertext(t, s),
+			{C: g.Identity(), C1: g.Identity()},
+		} {
+			b, err := ct.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s: MarshalBinary: %v", g.Name(), err)
+			}
+			var got Ciphertext
+			if err := got.UnmarshalBinary(b); err != nil {
+				t.Fatalf("%s: UnmarshalBinary: %v", g.Name(), err)
+			}
+			if !g.Equal(got.C, ct.C) || !g.Equal(got.C1, ct.C1) {
+				t.Fatalf("%s: ciphertext changed across roundtrip", g.Name())
+			}
+
+			var buf bytes.Buffer
+			if n, err := ct.WriteTo(&buf); err != nil || int(n) != len(b) {
+				t.Fatalf("%s: WriteTo wrote %d (%v), want %d", g.Name(), n, err, len(b))
+			}
+
+			// The wirecodec frame path must roundtrip too.
+			fb, err := wirecodec.Marshal(ct)
+			if err != nil {
+				t.Fatalf("%s: frame marshal: %v", g.Name(), err)
+			}
+			fv, err := wirecodec.Unmarshal(fb)
+			if err != nil {
+				t.Fatalf("%s: frame unmarshal: %v", g.Name(), err)
+			}
+			fct := fv.(Ciphertext)
+			if !g.Equal(fct.C, ct.C) || !g.Equal(fct.C1, ct.C1) {
+				t.Fatalf("%s: framed ciphertext changed", g.Name())
+			}
+		}
+	}
+}
+
+func TestCiphertextUnmarshalRejectsGarbage(t *testing.T) {
+	s := wireSchemes(t)[0]
+	good, err := sampleCiphertext(t, s).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct Ciphertext
+	for i := 0; i < len(good); i++ {
+		if err := ct.UnmarshalBinary(good[:i]); err == nil {
+			t.Fatalf("accepted %d-byte prefix", i)
+		}
+	}
+	if err := ct.UnmarshalBinary(append(append([]byte(nil), good...), 0xEE)); err == nil {
+		t.Fatal("accepted trailing garbage")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 0x7F
+	if err := ct.UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted unknown element tag")
+	}
+}
+
+// TestAppendEncodeZeroAllocs pins the hot-path contract: encoding a
+// ciphertext into a reused buffer allocates nothing. The old Encode
+// built two intermediate slices per ciphertext and re-copied both
+// through a defensive pad; per-bit encryption batches serialise
+// O(l·n²) ciphertexts per run, so the copies were pure overhead.
+func TestAppendEncodeZeroAllocs(t *testing.T) {
+	for _, s := range wireSchemes(t) {
+		ct := sampleCiphertext(t, s)
+		buf := make([]byte, 0, s.EncodedLen())
+		allocs := testing.AllocsPerRun(200, func() {
+			buf = s.AppendEncode(buf[:0], ct)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: AppendEncode allocates %.1f times per ciphertext, want 0",
+				s.Group().Name(), allocs)
+		}
+		if len(buf) != s.EncodedLen() {
+			t.Errorf("%s: AppendEncode wrote %d bytes, want %d",
+				s.Group().Name(), len(buf), s.EncodedLen())
+		}
+		if !bytes.Equal(buf, s.Encode(ct)) {
+			t.Errorf("%s: AppendEncode disagrees with Encode", s.Group().Name())
+		}
+	}
+}
+
+func FuzzCiphertextUnmarshal(f *testing.F) {
+	dl, err := group.ToyDL256()
+	if err != nil {
+		f.Fatal(err)
+	}
+	s := NewScheme(dl)
+	rng := fixedbig.NewDRBG("elgamal-fuzz")
+	kp, _ := s.GenerateKey(rng)
+	ct, _ := s.EncryptExp(kp.Y, big.NewInt(1), rng)
+	if seed, err := ct.MarshalBinary(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x00, 0x01, 0x09, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Ciphertext
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		b, err := out.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted ciphertext failed to re-encode: %v", err)
+		}
+		var again Ciphertext
+		if err := again.UnmarshalBinary(b); err != nil {
+			t.Fatalf("re-encoded ciphertext failed to decode: %v", err)
+		}
+	})
+}

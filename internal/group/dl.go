@@ -143,6 +143,16 @@ func (d *DLGroup) Encode(a Element) []byte {
 	return d.unwrap(a).FillBytes(make([]byte, d.elemLen))
 }
 
+// AppendElement implements Group without allocating when dst has
+// capacity: the residue is written directly into the grown tail.
+func (d *DLGroup) AppendElement(dst []byte, a Element) []byte {
+	v := d.unwrap(a)
+	n := len(dst)
+	dst = append(dst, make([]byte, d.elemLen)...)
+	v.FillBytes(dst[n:])
+	return dst
+}
+
 // Decode implements Group. It rejects values outside [1, p) and values
 // that are not quadratic residues, so decoded elements always lie in the
 // order-q subgroup.

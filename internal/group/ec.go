@@ -16,7 +16,7 @@ type ECGroup struct {
 	a, b     *big.Int // curve coefficients
 	gx, gy   *big.Int // base point
 	n        *big.Int // (prime) order of the base point
-	elemLen  int      // uncompressed point encoding length
+	elemLen  int      // compressed point encoding length
 	secLevel int
 }
 
@@ -62,7 +62,7 @@ func NewECGroup(spec CurveSpec) (*ECGroup, error) {
 		gx:       spec.Gx,
 		gy:       spec.Gy,
 		n:        spec.N,
-		elemLen:  1 + 2*((spec.P.BitLen()+7)/8),
+		elemLen:  1 + (spec.P.BitLen()+7)/8,
 		secLevel: spec.SecurityBits,
 	}
 	if !g.onCurve(spec.Gx, spec.Gy) {
@@ -318,34 +318,42 @@ func (g *ECGroup) Equal(a, b Element) bool {
 // IsIdentity implements Group.
 func (g *ECGroup) IsIdentity(a Element) bool { return g.unwrap(a).inf }
 
-// Encode implements Group using the uncompressed SEC1 encoding
-// 0x04 ‖ X ‖ Y. The point at infinity encodes as ElementLen() zero
-// bytes (a padded SEC1 0x00 prefix), keeping every element — identity
-// included — at the fixed width the Group contract promises. A short
-// 1-byte identity encoding was a bug: elgamal.Scheme.Encode pads each
-// half of a ciphertext to ElementLen, so the identity's padded form is
-// exactly this all-zero buffer, and Decode must accept it — it arises
+// Encode implements Group using the compressed SEC1 encoding
+// (0x02 | parity(Y)) ‖ X: one byte of Y-parity tag plus the fixed-width
+// X coordinate, 1+⌈log₂p/8⌉ bytes — roughly half the uncompressed form,
+// which is the unit every nominal byte count on the wire is charged in.
+// The point at infinity encodes as ElementLen() zero bytes (a padded
+// SEC1 0x00 prefix), keeping every element — identity included — at the
+// fixed width the Group contract promises; the identity arises
 // legitimately whenever an exponent hits zero (τ = 0, the comparison
 // circuit's signal value, after the last decryption layer).
 func (g *ECGroup) Encode(a Element) []byte {
-	pt := g.unwrap(a)
-	if pt.inf {
-		return make([]byte, g.elemLen)
-	}
-	fieldLen := (g.p.BitLen() + 7) / 8
-	out := make([]byte, 1+2*fieldLen)
-	out[0] = 0x04
-	pt.x.FillBytes(out[1 : 1+fieldLen])
-	pt.y.FillBytes(out[1+fieldLen:])
-	return out
+	return g.AppendElement(make([]byte, 0, g.elemLen), a)
 }
 
-// Decode implements Group, verifying the point lies on the curve. Only
-// fixed-width encodings are accepted: the legacy 1-byte identity form
-// is rejected so every element has exactly one valid encoding.
+// AppendElement implements Group without allocating when dst has
+// capacity: the compressed point is written directly into the grown
+// tail.
+func (g *ECGroup) AppendElement(dst []byte, a Element) []byte {
+	pt := g.unwrap(a)
+	n := len(dst)
+	dst = append(dst, make([]byte, g.elemLen)...)
+	if pt.inf {
+		return dst
+	}
+	dst[n] = 0x02 | byte(pt.y.Bit(0))
+	pt.x.FillBytes(dst[n+1:])
+	return dst
+}
+
+// Decode implements Group, decompressing the Y coordinate (a modular
+// square root — big.Int.ModSqrt handles both p ≡ 3 (mod 4) and the
+// Tonelli–Shanks case) and thereby verifying the point lies on the
+// curve: an X with no square root on the right-hand side is exactly an
+// off-curve point. Only fixed-width encodings are accepted, so every
+// element has exactly one valid encoding.
 func (g *ECGroup) Decode(data []byte) (Element, error) {
-	fieldLen := (g.p.BitLen() + 7) / 8
-	if len(data) != 1+2*fieldLen {
+	if len(data) != g.elemLen {
 		return nil, fmt.Errorf("group: malformed %s point encoding", g.name)
 	}
 	if data[0] == 0x00 {
@@ -356,13 +364,30 @@ func (g *ECGroup) Decode(data []byte) (Element, error) {
 		}
 		return ecPoint{inf: true}, nil
 	}
-	if data[0] != 0x04 {
+	if data[0] != 0x02 && data[0] != 0x03 {
 		return nil, fmt.Errorf("group: malformed %s point encoding", g.name)
 	}
-	x := new(big.Int).SetBytes(data[1 : 1+fieldLen])
-	y := new(big.Int).SetBytes(data[1+fieldLen:])
-	if x.Cmp(g.p) >= 0 || y.Cmp(g.p) >= 0 || !g.onCurve(x, y) {
+	x := new(big.Int).SetBytes(data[1:])
+	if x.Cmp(g.p) >= 0 {
 		return nil, fmt.Errorf("group: %s point is not on the curve", g.name)
+	}
+	// y² = x³ + ax + b
+	rhs := new(big.Int).Mul(x, x)
+	rhs.Mul(rhs, x)
+	rhs.Add(rhs, new(big.Int).Mul(g.a, x))
+	rhs.Add(rhs, g.b)
+	rhs.Mod(rhs, g.p)
+	y := new(big.Int).ModSqrt(rhs, g.p)
+	if y == nil {
+		return nil, fmt.Errorf("group: %s point is not on the curve", g.name)
+	}
+	if uint(data[0]&1) != y.Bit(0) {
+		if y.Sign() == 0 {
+			// y = 0 would be a point of order 2, impossible in a
+			// prime-order group; its only valid tag is the even one.
+			return nil, fmt.Errorf("group: %s point is not on the curve", g.name)
+		}
+		y.Sub(g.p, y)
 	}
 	return ecPoint{x: x, y: y}, nil
 }

@@ -52,6 +52,12 @@ type Group interface {
 	// Every element, the identity included, has one fixed-width
 	// canonical encoding.
 	Encode(a Element) []byte
+	// AppendElement appends the canonical encoding of a to dst and
+	// returns the extended slice, exactly ElementLen bytes longer. It
+	// is the allocation-free form of Encode for hot serialisation
+	// paths: a caller that reuses dst across elements amortises every
+	// buffer to zero allocations.
+	AppendElement(dst []byte, a Element) []byte
 	// Decode parses an encoded element, verifying group membership.
 	Decode(data []byte) (Element, error)
 	// ElementLen is the encoded length in bytes of every element; it is

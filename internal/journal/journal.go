@@ -9,20 +9,26 @@
 // serves every journaled receive without touching the network, and
 // resumes live at the first un-journaled message.
 //
-// Records are framed as length ‖ CRC32 ‖ gob(Record). A crash can tear
-// the final record mid-write; Open detects the torn tail (short frame
-// or checksum mismatch) and truncates back to the last intact record,
-// so the journal is always consistent up to the most recent completed
-// append. Appends are flushed to the OS before returning — a killed
-// process loses nothing it acted on — and Sync forces them to stable
-// storage for machine-crash durability.
+// Records are framed as length ‖ CRC32 ‖ body, where the body is a
+// fixed-width binary encoding of the Record (kind, coordinates, then
+// the payload as a self-contained wirecodec frame). Earlier versions
+// gobbed each record independently, which re-emitted the full gob type
+// descriptor set in EVERY record — for small protocol messages the
+// descriptors outweighed the payload several times over. The binary
+// form carries no per-record type tables; TestRecordSizePinned pins the
+// bytes-per-record cost so a regression cannot creep back in. A crash
+// can tear the final record mid-write; Open detects the torn tail
+// (short frame or checksum mismatch) and truncates back to the last
+// intact record, so the journal is always consistent up to the most
+// recent completed append. Appends are flushed to the OS before
+// returning — a killed process loses nothing it acted on — and Sync
+// forces them to stable storage for machine-crash durability.
 package journal
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -33,6 +39,7 @@ import (
 
 	"groupranking/internal/telemetry"
 	"groupranking/internal/transport"
+	"groupranking/internal/wirecodec"
 )
 
 // Kind discriminates journal records.
@@ -79,19 +86,51 @@ func (k Kind) String() string {
 }
 
 // Record is one journal entry. Sent/recv records carry the message's
-// transport coordinates plus its gob-encoded payload; the other kinds
-// use Data (session fingerprint, seed) or Seq (epoch number) alone.
+// transport coordinates plus its encoded payload; the other kinds use
+// Data (session fingerprint, seed) or Seq (epoch number) alone.
 type Record struct {
 	Kind  Kind
 	Peer  int    // sent: destination; recv: source
 	Round int    // protocol round tag
 	Seq   uint64 // per-link sequence number (epoch records: epoch)
 	Bytes int    // nominal wire bytes, preserved for exact stats replay
-	Data  []byte // gob payload (sent/recv), fingerprint (session), seed
+	Data  []byte // wirecodec payload frame (sent/recv), fingerprint (session), seed
 }
 
-// fileMagic guards against feeding an arbitrary file to Open.
-var fileMagic = []byte("GRJL1\n")
+// appendRecord writes the fixed-width binary body of one record: kind,
+// coordinates, then the Data bytes. No type information — the layout IS
+// the schema, and fileMagic versions it.
+func appendRecord(dst []byte, rec Record) []byte {
+	dst = wirecodec.AppendU8(dst, uint8(rec.Kind))
+	dst = wirecodec.AppendI64(dst, int64(rec.Peer))
+	dst = wirecodec.AppendI64(dst, int64(rec.Round))
+	dst = wirecodec.AppendU64(dst, rec.Seq)
+	dst = wirecodec.AppendI64(dst, int64(rec.Bytes))
+	return wirecodec.AppendBytes(dst, rec.Data)
+}
+
+// decodeRecord parses one record body (the bytes appendRecord produced).
+func decodeRecord(body []byte) (Record, error) {
+	r := wirecodec.NewReader(body)
+	var rec Record
+	rec.Kind = Kind(r.U8())
+	rec.Peer = r.Int()
+	rec.Round = r.Int()
+	rec.Seq = r.U64()
+	rec.Bytes = r.Int()
+	rec.Data = r.Bytes()
+	if err := r.Finish(); err != nil {
+		return Record{}, fmt.Errorf("journal: undecodable record: %w", err)
+	}
+	return rec, nil
+}
+
+// fileMagic guards against feeding an arbitrary file to Open, and
+// versions the record layout: GRJL1 framed gob-encoded records, GRJL2
+// frames the binary encoding above. There is no cross-version reader —
+// a journal only ever needs to outlive the build that wrote it when
+// that exact build restarts.
+var fileMagic = []byte("GRJL2\n")
 
 // Journal is an open per-party session journal. All methods are safe
 // for concurrent use (the transport's reader pumps append receives
@@ -100,9 +139,10 @@ type Journal struct {
 	mu     sync.Mutex
 	f      *os.File
 	w      *bufio.Writer
-	path   string
-	closed bool
-	tm     *journalMetrics
+	path    string
+	closed  bool
+	tm      *journalMetrics
+	scratch []byte // reused appendLocked encode buffer, guarded by mu
 
 	fingerprint []byte
 	seed        string
@@ -256,9 +296,9 @@ func readRecord(r io.Reader) (Record, int, error) {
 	if crc32.ChecksumIEEE(body) != sum {
 		return Record{}, 0, fmt.Errorf("journal: record checksum mismatch")
 	}
-	var rec Record
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
-		return Record{}, 0, fmt.Errorf("journal: undecodable record: %w", err)
+	rec, err := decodeRecord(body)
+	if err != nil {
+		return Record{}, 0, err
 	}
 	return rec, 8 + int(size), nil
 }
@@ -278,17 +318,17 @@ func (j *Journal) appendLocked(rec Record) error {
 	if j.tm != nil {
 		start = time.Now()
 	}
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
-		return fmt.Errorf("journal: encoding record: %w", err)
-	}
+	// The scratch buffer is reused across appends (safe: appendLocked
+	// holds j.mu), so steady-state appends allocate nothing.
+	body := appendRecord(j.scratch[:0], rec)
+	j.scratch = body[:0]
 	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(body.Len()))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body.Bytes()))
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
 	if _, err := j.w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("journal: appending: %w", err)
 	}
-	if _, err := j.w.Write(body.Bytes()); err != nil {
+	if _, err := j.w.Write(body); err != nil {
 		return fmt.Errorf("journal: appending: %w", err)
 	}
 	// Flush to the OS on every append: a SIGKILL'd process then loses at
@@ -299,7 +339,7 @@ func (j *Journal) appendLocked(rec Record) error {
 	}
 	if j.tm != nil {
 		j.tm.appends.Inc()
-		j.tm.bytes.Add(int64(len(hdr) + body.Len()))
+		j.tm.bytes.Add(int64(len(hdr) + len(body)))
 		j.tm.appendSeconds.Observe(time.Since(start).Seconds())
 	}
 	j.apply(rec)
@@ -478,21 +518,21 @@ func Scan(path string) ([]Record, error) {
 	return recs, nil
 }
 
-// encodePayload gobs an arbitrary payload as an interface value, so
-// decodePayload can return it as `any` (the payload's concrete type
-// must be gob-registered, e.g. via core.RegisterWire).
+// encodePayload encodes an arbitrary payload as one self-contained
+// wirecodec frame — the same bytes the transport puts on the wire.
+// Registered types get their fixed-width codec; anything else rides
+// the codec's gob-fallback frame (and must then be gob-registered,
+// e.g. via core.RegisterWire). Earlier versions gobbed each payload
+// with a FRESH encoder, so every record paid for the payload type's
+// full descriptor set again; the wirecodec frame is descriptor-free.
 func encodePayload(p any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+	data, err := wirecodec.Marshal(p)
+	if err != nil {
 		return nil, fmt.Errorf("journal: encoding payload: %w", err)
 	}
-	return buf.Bytes(), nil
+	return data, nil
 }
 
 func decodePayload(b []byte) (any, error) {
-	var p any
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return wirecodec.Unmarshal(b)
 }

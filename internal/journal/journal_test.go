@@ -319,3 +319,50 @@ func TestConcurrentAppend(t *testing.T) {
 		}
 	}
 }
+
+// TestRecordSizePinned pins the on-disk cost of one journaled message.
+// The gob-era journal re-emitted the payload type's full descriptor set
+// in EVERY record (a fresh encoder per record), so small messages paid
+// a multiple of their size in framing; the binary record layout plus
+// the wirecodec payload frame is descriptor-free. The numbers below are
+// exact — the encoding is fixed-width and deterministic — so any
+// regression that reintroduces per-record type tables fails this test
+// by a wide margin, not a flaky threshold.
+func TestRecordSizePinned(t *testing.T) {
+	path := SessionPath(t.TempDir(), "size", 0)
+	j := open(t, path)
+	defer j.Close()
+	base, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		payloadLen = 64
+		records    = 100
+		// frame header 8 (len+crc) + record body 37 (kind 1, peer 8,
+		// round 8, seq 8, bytes 8, data length prefix 4) + payload frame
+		// 77 (wirecodec header 9 + byte-slice body 4+64).
+		wantPerRecord = 8 + 37 + 9 + 4 + payloadLen
+	)
+	payload := make([]byte, payloadLen)
+	for i := 0; i < records; i++ {
+		if err := j.LogSend(1, 7, payloadLen, uint64(i), payload); err != nil {
+			t.Fatalf("LogSend %d: %v", i, err)
+		}
+	}
+	grown, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRecord := (grown.Size() - base.Size()) / records
+	if perRecord != wantPerRecord {
+		t.Errorf("bytes per journaled record: %d, want %d", perRecord, wantPerRecord)
+	}
+
+	// Every record must cost the same: a first-record-only discount (or
+	// surcharge) is the signature of stateful framing creeping back in.
+	if total, want := grown.Size()-base.Size(), int64(records*wantPerRecord); total != want {
+		t.Errorf("total growth %d bytes, want %d", total, want)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"reflect"
+
+	"groupranking/internal/wirecodec"
 )
 
 // Canonical broadcast-payload digests for the echo sub-round.
@@ -52,6 +54,17 @@ import (
 // order-dependent. A payload containing a map or a channel fails
 // loudly here rather than producing an unstable digest.
 func PayloadDigest(payload any) ([]byte, error) {
+	// Fast path: types with a registered wirecodec codec digest as the
+	// SHA-256 of their wire frame. The frame is canonical (fixed-width
+	// fields, deterministic encode) and self-describing (the type id is
+	// in the header), so it satisfies every property the reflection walk
+	// exists to provide — and it is the exact byte string the transport
+	// puts on the wire, so "digest matches" and "frame matches" are the
+	// same statement. Gob-fallback types keep the reflection walk.
+	if data, ok := wirecodec.MarshalRegistered(payload); ok {
+		sum := sha256.Sum256(data)
+		return sum[:], nil
+	}
 	h := sha256.New()
 	v := reflect.ValueOf(payload)
 	if v.IsValid() {

@@ -1,8 +1,8 @@
 package transport
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"groupranking/internal/telemetry"
+	"groupranking/internal/wirecodec"
 )
 
 // This file implements the crash-recovery transport: a TCP mesh whose
@@ -178,7 +179,6 @@ type rlink struct {
 
 	mu        sync.Mutex
 	conn      net.Conn
-	enc       *gob.Encoder
 	up        bool
 	peerEpoch int
 
@@ -458,27 +458,27 @@ func (f *RecoveringTCPFabric) acceptLoop() {
 func (f *RecoveringTCPFabric) handleAccept(conn net.Conn) {
 	defer f.wg.Done()
 	conn.SetDeadline(time.Now().Add(handshakeDeadline))
-	dec := gob.NewDecoder(conn)
-	var hello rhello
-	if err := dec.Decode(&hello); err != nil {
+	rd := bufio.NewReader(conn)
+	v, err := wirecodec.ReadValue(rd)
+	if err != nil {
 		conn.Close()
 		return
 	}
-	if hello.SessionID != f.opts.SessionID || hello.Party <= f.me || hello.Party >= f.n {
+	hello, ok := v.(rhello)
+	if !ok || hello.SessionID != f.opts.SessionID || hello.Party <= f.me || hello.Party >= f.n {
 		conn.Close()
 		return
 	}
 	l := f.links[hello.Party]
-	enc := gob.NewEncoder(conn)
 	l.mu.Lock()
 	mine := rhello{SessionID: f.opts.SessionID, Party: f.me, Epoch: f.opts.Epoch, NextExpected: l.recvNext}
 	l.mu.Unlock()
-	if err := enc.Encode(mine); err != nil {
+	if err := wirecodec.WriteValue(conn, mine); err != nil {
 		conn.Close()
 		return
 	}
 	conn.SetDeadline(time.Time{})
-	f.attach(l, conn, enc, dec, hello)
+	f.attach(l, conn, rd, hello)
 }
 
 // maintain owns the dial side of one link (to a lower-indexed peer): it
@@ -525,33 +525,33 @@ func (f *RecoveringTCPFabric) dialPeer(l *rlink) bool {
 		return false
 	}
 	conn.SetDeadline(time.Now().Add(handshakeDeadline))
-	enc := gob.NewEncoder(conn)
 	l.mu.Lock()
 	mine := rhello{SessionID: f.opts.SessionID, Party: f.me, Epoch: f.opts.Epoch, NextExpected: l.recvNext}
 	l.mu.Unlock()
-	if err := enc.Encode(mine); err != nil {
+	if err := wirecodec.WriteValue(conn, mine); err != nil {
 		conn.Close()
 		return false
 	}
-	dec := gob.NewDecoder(conn)
-	var hello rhello
-	if err := dec.Decode(&hello); err != nil {
+	rd := bufio.NewReader(conn)
+	v, err := wirecodec.ReadValue(rd)
+	if err != nil {
 		conn.Close()
 		return false
 	}
-	if hello.SessionID != f.opts.SessionID || hello.Party != l.peer {
+	hello, ok := v.(rhello)
+	if !ok || hello.SessionID != f.opts.SessionID || hello.Party != l.peer {
 		conn.Close()
 		return false
 	}
 	conn.SetDeadline(time.Time{})
-	return f.attach(l, conn, enc, dec, hello)
+	return f.attach(l, conn, rd, hello)
 }
 
 // attach installs a handshaken connection on its link: it rejects
 // stale epochs, replaces any previous connection, trims the retransmit
 // buffer to the peer's next-expected seq, retransmits the rest in
 // order, clears pending blame, and starts the reader pump.
-func (f *RecoveringTCPFabric) attach(l *rlink, conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, hello rhello) bool {
+func (f *RecoveringTCPFabric) attach(l *rlink, conn net.Conn, rd *bufio.Reader, hello rhello) bool {
 	l.mu.Lock()
 	if hello.Epoch < l.peerEpoch {
 		// A connection from before the peer's restart, delivered late.
@@ -563,7 +563,7 @@ func (f *RecoveringTCPFabric) attach(l *rlink, conn net.Conn, enc *gob.Encoder, 
 	if l.conn != nil {
 		l.conn.Close() // the old pump exits; markDown ignores the stale conn
 	}
-	l.conn, l.enc = conn, enc
+	l.conn = conn
 	// The peer holds everything below NextExpected; treat it as acked.
 	l.trimAckLocked(hello.NextExpected)
 	// Retransmit the remainder before any new traffic, preserving order.
@@ -571,8 +571,8 @@ func (f *RecoveringTCPFabric) attach(l *rlink, conn net.Conn, enc *gob.Encoder, 
 		if f.timeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(f.timeout))
 		}
-		if err := enc.Encode(env); err != nil {
-			l.conn, l.enc = nil, nil
+		if err := wirecodec.WriteValue(conn, env); err != nil {
+			l.conn = nil
 			l.mu.Unlock()
 			conn.Close()
 			return false
@@ -592,7 +592,7 @@ func (f *RecoveringTCPFabric) attach(l *rlink, conn net.Conn, enc *gob.Encoder, 
 	l.mu.Unlock()
 
 	f.wg.Add(1)
-	go f.pump(l, conn, dec)
+	go f.pump(l, conn, rd)
 	return true
 }
 
@@ -611,7 +611,7 @@ func (f *RecoveringTCPFabric) markDownLocked(l *rlink, conn net.Conn) {
 		return
 	}
 	conn.Close()
-	l.conn, l.enc = nil, nil
+	l.conn = nil
 	l.up = false
 	l.tm.linkUp.Set(0)
 	f.armBlameLocked(l)
@@ -654,7 +654,7 @@ func (f *RecoveringTCPFabric) fatalLocked(l *rlink, err error) {
 	}
 	if conn := l.conn; conn != nil {
 		conn.Close()
-		l.conn, l.enc = nil, nil
+		l.conn = nil
 	}
 	l.up = false
 	l.tm.linkUp.Set(0)
@@ -669,15 +669,25 @@ func (f *RecoveringTCPFabric) fatalLocked(l *rlink, err error) {
 // enabled a read deadline of several intervals doubles as the liveness
 // check: a connection that goes silent (severed link, frozen peer) is
 // torn down and enters the redial/grace path.
-func (f *RecoveringTCPFabric) pump(l *rlink, conn net.Conn, dec *gob.Decoder) {
+func (f *RecoveringTCPFabric) pump(l *rlink, conn net.Conn, rd *bufio.Reader) {
 	defer f.wg.Done()
 	for {
 		if f.opts.Heartbeat > 0 {
 			conn.SetReadDeadline(time.Now().Add(4*f.opts.Heartbeat + time.Second))
 		}
-		var env renv
-		if err := dec.Decode(&env); err != nil {
+		v, err := wirecodec.ReadValue(rd)
+		if err != nil {
 			f.markDown(l, conn)
+			return
+		}
+		env, ok := v.(renv)
+		if !ok {
+			// A peer speaking the right session but the wrong frame type
+			// is beyond a redial's help; the desync path names it.
+			l.mu.Lock()
+			f.fatalLocked(l, fmt.Errorf("%w: party %d sent a %T frame, want recovery envelope",
+				ErrDesync, l.peer, v))
+			l.mu.Unlock()
 			return
 		}
 		if !f.handleFrame(l, env) {
@@ -773,7 +783,7 @@ func (l *rlink) trimAckLocked(ack uint64) {
 func (f *RecoveringTCPFabric) sendControl(l *rlink, env renv) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if !l.up || l.enc == nil {
+	if !l.up || l.conn == nil {
 		return
 	}
 	if f.timeout > 0 {
@@ -784,7 +794,7 @@ func (f *RecoveringTCPFabric) sendControl(l *rlink, env renv) {
 			}
 		}()
 	}
-	if err := l.enc.Encode(env); err != nil {
+	if err := wirecodec.WriteValue(l.conn, env); err != nil {
 		f.markDownLocked(l, l.conn)
 	}
 }
@@ -887,11 +897,11 @@ func (f *RecoveringTCPFabric) Send(round, from, to, bytes int, payload any) erro
 	}
 	l.buf = append(l.buf, env)
 	l.tm.ackLag.Set(float64(len(l.buf)))
-	if l.up && l.enc != nil {
+	if l.up && l.conn != nil {
 		if f.timeout > 0 {
 			l.conn.SetWriteDeadline(time.Now().Add(f.timeout))
 		}
-		if err := l.enc.Encode(env); err != nil {
+		if err := wirecodec.WriteValue(l.conn, env); err != nil {
 			// Buffered already; the redial path retransmits it.
 			f.markDownLocked(l, l.conn)
 		} else if l.conn != nil {
@@ -1103,7 +1113,7 @@ func (f *RecoveringTCPFabric) Close() {
 			l.mu.Lock()
 			if l.conn != nil {
 				l.conn.Close()
-				l.conn, l.enc = nil, nil
+				l.conn = nil
 			}
 			l.up = false
 			l.mu.Unlock()

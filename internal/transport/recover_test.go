@@ -1,8 +1,8 @@
 package transport
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"groupranking/internal/leakcheck"
+	"groupranking/internal/wirecodec"
 )
 
 // memJournal is an in-memory Journaler for transport-level tests (the
@@ -514,17 +515,19 @@ func TestRecoveringStaleEpochRejected(t *testing.T) {
 	// rejection shows up as the connection being closed without ever
 	// carrying a frame (an accepted connection would carry a heartbeat
 	// within the default 250ms interval).
-	if err := gob.NewEncoder(conn).Encode(rhello{SessionID: "test-session", Party: 1, Epoch: 1}); err != nil {
+	if err := wirecodec.WriteValue(conn, rhello{SessionID: "test-session", Party: 1, Epoch: 1}); err != nil {
 		t.Fatal(err)
 	}
-	dec := gob.NewDecoder(conn)
-	var reply rhello
-	if err := dec.Decode(&reply); err != nil {
+	rd := bufio.NewReader(conn)
+	v, err := wirecodec.ReadValue(rd)
+	if err != nil {
 		t.Fatalf("handshake reply: %v", err)
 	}
+	if _, ok := v.(rhello); !ok {
+		t.Fatalf("handshake reply is a %T, want rhello", v)
+	}
 	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-	var env renv
-	if err := dec.Decode(&env); err == nil {
+	if env, err := wirecodec.ReadValue(rd); err == nil {
 		t.Fatalf("stale-epoch connection carried traffic: %+v", env)
 	}
 	// The genuine link is untouched by the stale intruder.

@@ -1,8 +1,8 @@
 package transport
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"net"
@@ -11,28 +11,31 @@ import (
 	"time"
 
 	"groupranking/internal/telemetry"
+	"groupranking/internal/wirecodec"
 )
 
 // TCPFabric implements Net over real TCP connections, so the protocol
 // stack runs unchanged across processes or machines — the deployment
 // shape the paper's "fully distributed framework" implies. Each pair of
-// parties shares one duplex TCP connection carrying gob-encoded
-// envelopes; per-sender FIFO ordering is TCP's ordering.
+// parties shares one duplex TCP connection carrying wirecodec envelope
+// frames (length-prefixed, versioned binary); per-sender FIFO ordering
+// is TCP's ordering.
 //
-// Failure behaviour: a lost connection is detected by the per-peer
-// reader pump and surfaces on the next receive as a typed *AbortError
-// naming the peer (ErrPeerDown), never as a hang or a decode panic.
-// Writes carry a deadline so a stalled peer cannot block a sender
-// forever. Close drains and tears down every connection gracefully.
+// Failure behaviour: a lost connection or a malformed frame is detected
+// by the per-peer reader pump and surfaces on the next receive as a
+// typed *AbortError naming the peer (ErrPeerDown), never as a hang or
+// a decode panic. Writes carry a deadline so a stalled peer cannot
+// block a sender forever. Close drains and tears down every connection
+// gracefully.
 //
-// Payload types that cross a TCPFabric must be gob-registered first
-// (each protocol package exposes RegisterWire for its own types).
+// Payload types that cross a TCPFabric use their registered wirecodec
+// codecs; unregistered types ride the gob-fallback frame and must be
+// gob-registered first (each protocol package exposes RegisterWire).
 type TCPFabric struct {
 	n  int
 	me int
 
 	conns []net.Conn
-	encs  []*gob.Encoder
 	encMu []sync.Mutex
 	inbox []chan envelope
 
@@ -93,7 +96,6 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 		n:       n,
 		me:      me,
 		conns:   make([]net.Conn, n),
-		encs:    make([]*gob.Encoder, n),
 		encMu:   make([]sync.Mutex, n),
 		inbox:   make([]chan envelope, n),
 		timeout:  timeout,
@@ -122,9 +124,8 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 	errs := make(chan error, n)
 
 	// Accept from higher-indexed peers; each introduces itself with its
-	// index as the first gob value. The handshake carries a read
-	// deadline so a connected-but-silent client cannot stall mesh
-	// formation.
+	// index as the first frame. The handshake carries a read deadline
+	// so a connected-but-silent client cannot stall mesh formation.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -135,20 +136,21 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 				return
 			}
 			conn.SetReadDeadline(time.Now().Add(handshakeDeadline))
-			dec := gob.NewDecoder(conn)
-			var peer int
-			if err := dec.Decode(&peer); err != nil {
+			rd := bufio.NewReader(conn)
+			v, err := wirecodec.ReadValue(rd)
+			if err != nil {
 				conn.Close()
 				errs <- fmt.Errorf("transport: tcp handshake: %w", err)
 				return
 			}
 			conn.SetReadDeadline(time.Time{})
-			if peer <= me || peer >= n || f.conns[peer] != nil {
+			peer, ok := v.(int)
+			if !ok || peer <= me || peer >= n || f.conns[peer] != nil {
 				conn.Close()
-				errs <- fmt.Errorf("transport: invalid handshake from peer %d", peer)
+				errs <- fmt.Errorf("transport: invalid handshake from peer %v", v)
 				return
 			}
-			f.attach(peer, conn, dec)
+			f.attach(peer, conn, rd)
 		}
 	}()
 
@@ -178,15 +180,14 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 					}
 					continue
 				}
-				enc := gob.NewEncoder(conn)
 				conn.SetWriteDeadline(time.Now().Add(handshakeDeadline))
-				if err := enc.Encode(me); err != nil {
+				if err := wirecodec.WriteValue(conn, me); err != nil {
 					conn.Close()
 					errs <- fmt.Errorf("transport: tcp handshake: %w", err)
 					return
 				}
 				conn.SetWriteDeadline(time.Time{})
-				f.attachWithEncoder(peer, conn, enc, gob.NewDecoder(conn))
+				f.attach(peer, conn, bufio.NewReader(conn))
 				return
 			}
 		}()
@@ -202,20 +203,18 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 	return f, nil
 }
 
-// attach wires an accepted connection (decoder already created).
-func (f *TCPFabric) attach(peer int, conn net.Conn, dec *gob.Decoder) {
-	f.attachWithEncoder(peer, conn, gob.NewEncoder(conn), dec)
-}
-
-func (f *TCPFabric) attachWithEncoder(peer int, conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) {
+// attach wires a handshaken connection: rd is the connection's buffered
+// reader (it may already hold bytes past the handshake frame, so the
+// pump must read through it, never the bare conn).
+func (f *TCPFabric) attach(peer int, conn net.Conn, rd *bufio.Reader) {
 	f.mu.Lock()
 	f.conns[peer] = conn
-	f.encs[peer] = enc
 	f.mu.Unlock()
 	// Reader pump: one goroutine per connection keeps per-sender FIFO
-	// order and feeds the inbox. A decode failure (connection loss,
-	// malformed frame) is recorded and the inbox closed, so pending and
-	// future receives fail with a typed AbortError instead of hanging.
+	// order and feeds the inbox. A read or decode failure (connection
+	// loss, truncated/garbage/oversized frame) is recorded and the inbox
+	// closed, so pending and future receives fail with a typed
+	// AbortError naming the sender instead of hanging or panicking.
 	// No steady-state read deadline is set here: links are legitimately
 	// idle for long stretches (a party receives from a given peer only
 	// in certain rounds), and the receive-side timeout already bounds
@@ -223,15 +222,23 @@ func (f *TCPFabric) attachWithEncoder(peer int, conn net.Conn, enc *gob.Encoder,
 	f.pumps.Add(1)
 	go func() {
 		defer f.pumps.Done()
+		fail := func(err error) {
+			f.mu.Lock()
+			if f.recvErr[peer] == nil {
+				f.recvErr[peer] = err
+			}
+			f.mu.Unlock()
+			close(f.inbox[peer])
+		}
 		for {
-			var env envelope
-			if err := dec.Decode(&env); err != nil {
-				f.mu.Lock()
-				if f.recvErr[peer] == nil {
-					f.recvErr[peer] = err
-				}
-				f.mu.Unlock()
-				close(f.inbox[peer])
+			v, err := wirecodec.ReadValue(rd)
+			if err != nil {
+				fail(err)
+				return
+			}
+			env, ok := v.(envelope)
+			if !ok {
+				fail(fmt.Errorf("transport: party %d sent a %T frame, want envelope", peer, v))
 				return
 			}
 			atomic.StoreInt64(&f.lastSeen[peer], time.Now().UnixNano())
@@ -281,14 +288,14 @@ func (f *TCPFabric) Send(round, from, to, bytes int, payload any) error {
 
 	f.encMu[to].Lock()
 	defer f.encMu[to].Unlock()
-	if f.encs[to] == nil || conn == nil {
+	if conn == nil {
 		return Abort(to, round, "", fmt.Errorf("%w: no connection to party %d", ErrPeerDown, to))
 	}
 	if f.timeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(f.timeout))
 		defer conn.SetWriteDeadline(time.Time{})
 	}
-	if err := f.encs[to].Encode(envelope{Round: round, Bytes: bytes, Payload: payload}); err != nil {
+	if err := wirecodec.WriteValue(conn, envelope{Round: round, Bytes: bytes, Payload: payload}); err != nil {
 		return Abort(to, round, "", fmt.Errorf("%w: sending to party %d: %v", ErrPeerDown, to, err))
 	}
 	return nil

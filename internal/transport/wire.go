@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"fmt"
+
+	"groupranking/internal/wirecodec"
+)
+
+// Wire codecs for the transport's own frames. The TCP fabrics used to
+// run one gob encoder/decoder pair per connection; every stream now
+// carries self-contained wirecodec frames, so a reconnecting link has
+// no encoder state to resynchronise and a frame captured in the
+// journal is byte-identical to the frame on the wire.
+
+func init() {
+	wirecodec.Register(wirecodec.IDRangeTransport, "echo digest vector",
+		[]any{echoMsg{}},
+		func(dst []byte, v any) ([]byte, error) {
+			ds := v.(echoMsg).Digests
+			dst = wirecodec.AppendU32(dst, uint32(len(ds)))
+			for _, d := range ds {
+				dst = wirecodec.AppendBytes(dst, d)
+			}
+			return dst, nil
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			n := r.Count(4)
+			ds := make([][]byte, 0, n)
+			for i := 0; i < n; i++ {
+				ds = append(ds, r.Bytes())
+			}
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("transport: echo message: %w", err)
+			}
+			return echoMsg{Digests: ds}, nil
+		})
+
+	wirecodec.Register(wirecodec.IDRangeTransport+1, "corruption marker",
+		[]any{Corrupted{}},
+		func(dst []byte, v any) ([]byte, error) {
+			return wirecodec.AppendI64(dst, int64(v.(Corrupted).Round)), nil
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			c := Corrupted{Round: r.Int()}
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("transport: corruption marker: %w", err)
+			}
+			return c, nil
+		})
+
+	wirecodec.Register(wirecodec.IDRangeTransport+2, "tcp envelope",
+		[]any{envelope{}},
+		func(dst []byte, v any) ([]byte, error) {
+			e := v.(envelope)
+			dst = wirecodec.AppendI64(dst, int64(e.Round))
+			dst = wirecodec.AppendI64(dst, int64(e.Bytes))
+			return wirecodec.AppendValue(dst, e.Payload)
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			var e envelope
+			e.Round = r.Int()
+			e.Bytes = r.Int()
+			e.Payload = r.Value()
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("transport: envelope: %w", err)
+			}
+			return e, nil
+		})
+
+	wirecodec.Register(wirecodec.IDRangeTransport+3, "recovery envelope",
+		[]any{renv{}},
+		func(dst []byte, v any) ([]byte, error) {
+			e := v.(renv)
+			dst = wirecodec.AppendU8(dst, e.Kind)
+			dst = wirecodec.AppendI64(dst, int64(e.Round))
+			dst = wirecodec.AppendU64(dst, e.Seq)
+			dst = wirecodec.AppendI64(dst, int64(e.Bytes))
+			dst = wirecodec.AppendU64(dst, e.Ack)
+			dst = wirecodec.AppendI64(dst, e.T)
+			dst = wirecodec.AppendI64(dst, e.EchoT)
+			return wirecodec.AppendValue(dst, e.Payload)
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			var e renv
+			e.Kind = r.U8()
+			e.Round = r.Int()
+			e.Seq = r.U64()
+			e.Bytes = r.Int()
+			e.Ack = r.U64()
+			e.T = r.I64()
+			e.EchoT = r.I64()
+			e.Payload = r.Value()
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("transport: recovery envelope: %w", err)
+			}
+			return e, nil
+		})
+
+	wirecodec.Register(wirecodec.IDRangeTransport+4, "recovery hello",
+		[]any{rhello{}},
+		func(dst []byte, v any) ([]byte, error) {
+			h := v.(rhello)
+			dst = wirecodec.AppendString(dst, h.SessionID)
+			dst = wirecodec.AppendI64(dst, int64(h.Party))
+			dst = wirecodec.AppendI64(dst, int64(h.Epoch))
+			return wirecodec.AppendU64(dst, h.NextExpected), nil
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			var h rhello
+			h.SessionID = r.String()
+			h.Party = r.Int()
+			h.Epoch = r.Int()
+			h.NextExpected = r.U64()
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("transport: hello: %w", err)
+			}
+			return h, nil
+		})
+}

@@ -214,7 +214,7 @@ func encodeScalars(list []*big.Int) []byte {
 func encodeSetBytes(scheme *elgamal.Scheme, set []elgamal.Ciphertext) []byte {
 	out := make([]byte, 0, len(set)*scheme.EncodedLen())
 	for _, ct := range set {
-		out = append(out, scheme.Encode(ct)...)
+		out = scheme.AppendEncode(out, ct)
 	}
 	return out
 }

@@ -872,10 +872,14 @@ func chainPhase(ctx context.Context, cfg Config, scheme *elgamal.Scheme, me int,
 }
 
 // hashSet commits a ciphertext set (SHA-256 over the encoded sequence).
+// One reused buffer feeds the hash, so committing a whole set allocates
+// a single ciphertext-sized scratch slice instead of one per entry.
 func hashSet(scheme *elgamal.Scheme, set []elgamal.Ciphertext) []byte {
 	h := sha256.New()
+	buf := make([]byte, 0, scheme.EncodedLen())
 	for _, ct := range set {
-		h.Write(scheme.Encode(ct))
+		buf = scheme.AppendEncode(buf[:0], ct)
+		h.Write(buf)
 	}
 	return h.Sum(nil)
 }

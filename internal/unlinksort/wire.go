@@ -1,0 +1,194 @@
+package unlinksort
+
+import (
+	"fmt"
+
+	"groupranking/internal/elgamal"
+	"groupranking/internal/wirecodec"
+	"groupranking/internal/zkp"
+)
+
+// Hand-rolled wire codecs for every round payload, replacing the gob
+// forms (which remain registered by RegisterWire as the fallback for
+// auxiliary traffic). All layouts are count-prefixed concatenations of
+// the elgamal/zkp wire forms; decoding is structural, with membership
+// of every ciphertext component still validated by the receive paths
+// via group.Validate.
+
+func appendCts(dst []byte, cts []elgamal.Ciphertext) ([]byte, error) {
+	dst = wirecodec.AppendU32(dst, uint32(len(cts)))
+	var err error
+	for _, ct := range cts {
+		if dst, err = elgamal.AppendCiphertextWire(dst, ct); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func readCts(r *wirecodec.Reader) []elgamal.Ciphertext {
+	n := r.Count(2) // smallest ciphertext: two 1-byte infinity elements
+	out := make([]elgamal.Ciphertext, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, elgamal.ReadCiphertext(r))
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func appendCtMatrix(dst []byte, m [][]elgamal.Ciphertext) ([]byte, error) {
+	dst = wirecodec.AppendU32(dst, uint32(len(m)))
+	var err error
+	for _, row := range m {
+		if dst, err = appendCts(dst, row); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func readCtMatrix(r *wirecodec.Reader) [][]elgamal.Ciphertext {
+	n := r.Count(4) // each row carries at least its u32 count
+	out := make([][]elgamal.Ciphertext, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, readCts(r))
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func appendProofMatrix(dst []byte, m [][]zkp.EqualityTranscript) ([]byte, error) {
+	dst = wirecodec.AppendU32(dst, uint32(len(m)))
+	var err error
+	for _, row := range m {
+		dst = wirecodec.AppendU32(dst, uint32(len(row)))
+		for _, t := range row {
+			if dst, err = t.AppendBinary(dst); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+func readProofMatrix(r *wirecodec.Reader) [][]zkp.EqualityTranscript {
+	n := r.Count(4)
+	out := make([][]zkp.EqualityTranscript, 0, n)
+	for i := 0; i < n; i++ {
+		k := r.Count(12) // two elements + two scalars, each ≥1 byte framed
+		row := make([]zkp.EqualityTranscript, 0, k)
+		for j := 0; j < k; j++ {
+			row = append(row, zkp.ReadTranscript(r))
+			if r.Err() != nil {
+				return nil
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func appendHashes(dst []byte, hs [][]byte) []byte {
+	dst = wirecodec.AppendU32(dst, uint32(len(hs)))
+	for _, h := range hs {
+		dst = wirecodec.AppendBytes(dst, h)
+	}
+	return dst
+}
+
+func readHashes(r *wirecodec.Reader) [][]byte {
+	n := r.Count(4)
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Bytes())
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func finishMsg(r *wirecodec.Reader, kind string) error {
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("unlinksort: %s: %w", kind, err)
+	}
+	return nil
+}
+
+func init() {
+	base := wirecodec.IDRangeProtocol + 2 // 32/33 are dotprod's
+
+	wirecodec.Register(base, "unlinksort bits", []any{bitsMsg{}},
+		func(dst []byte, v any) ([]byte, error) { return appendCts(dst, v.(bitsMsg).Cts) },
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			m := bitsMsg{Cts: readCts(r)}
+			return m, finishMsg(r, "bits message")
+		})
+
+	wirecodec.Register(base+1, "unlinksort tau set", []any{tauSetMsg{}},
+		func(dst []byte, v any) ([]byte, error) { return appendCts(dst, v.(tauSetMsg).Set) },
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			m := tauSetMsg{Set: readCts(r)}
+			return m, finishMsg(r, "tau set")
+		})
+
+	wirecodec.Register(base+2, "unlinksort vector", []any{vectorMsg{}},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(vectorMsg)
+			var err error
+			if dst, err = appendCtMatrix(dst, m.V); err != nil {
+				return nil, err
+			}
+			if dst, err = appendCtMatrix(dst, m.Input); err != nil {
+				return nil, err
+			}
+			if dst, err = appendCtMatrix(dst, m.Stripped); err != nil {
+				return nil, err
+			}
+			return appendProofMatrix(dst, m.Proofs)
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			m := vectorMsg{
+				V:        readCtMatrix(r),
+				Input:    readCtMatrix(r),
+				Stripped: readCtMatrix(r),
+				Proofs:   readProofMatrix(r),
+			}
+			return m, finishMsg(r, "vector message")
+		})
+
+	wirecodec.Register(base+3, "unlinksort anchor", []any{anchorMsg{}},
+		func(dst []byte, v any) ([]byte, error) {
+			return wirecodec.AppendBytes(dst, v.(anchorMsg).Hash), nil
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			m := anchorMsg{Hash: r.Bytes()}
+			return m, finishMsg(r, "anchor")
+		})
+
+	wirecodec.Register(base+4, "unlinksort commitment", []any{commitMsg{}},
+		func(dst []byte, v any) ([]byte, error) {
+			return appendHashes(dst, v.(commitMsg).Hashes), nil
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			m := commitMsg{Hashes: readHashes(r)}
+			return m, finishMsg(r, "commitment")
+		})
+
+	wirecodec.Register(base+5, "unlinksort final set", []any{finalMsg{}},
+		func(dst []byte, v any) ([]byte, error) { return appendCts(dst, v.(finalMsg).Set) },
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			m := finalMsg{Set: readCts(r)}
+			return m, finishMsg(r, "final set")
+		})
+}

@@ -1,0 +1,324 @@
+package wirecodec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"groupranking/internal/group"
+)
+
+// Reader parses the fixed-width primitives codecs are built from. It
+// latches the first error: every accessor after a failure returns a
+// zero value and does nothing, so decoders read a whole structure
+// straight through and check Err once at the end. A Reader never
+// panics on truncated, oversized or garbage input — that is the
+// receive-boundary contract fuzzed by this package's tests.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader reads from data. The Reader aliases data; accessors that
+// return byte slices copy, so the caller may reuse data afterwards.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// Err returns the first parse error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the unread byte count.
+func (r *Reader) Len() int { return len(r.data) - r.off }
+
+// Consumed returns how many bytes have been read.
+func (r *Reader) Consumed() int { return r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wirecodec: "+format, args...)
+	}
+}
+
+// take returns the next n raw bytes without copying, or nil on
+// truncation.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Len() < n {
+		r.fail("truncated input: need %d bytes, have %d", n, r.Len())
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian two's-complement int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int stored as I64, rejecting values that do not fit.
+func (r *Reader) Int() int {
+	v := r.I64()
+	n := int(v)
+	if int64(n) != v {
+		r.fail("integer %d overflows int", v)
+		return 0
+	}
+	return n
+}
+
+// Bool reads one byte as a bool, rejecting anything but 0 or 1.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("malformed bool")
+		return false
+	}
+}
+
+// Bytes reads a u32-length-prefixed byte string, returning a copy.
+func (r *Reader) Bytes() []byte {
+	n := int(r.U32())
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// String reads a u32-length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Count reads a u32 element count and validates it against the bytes
+// remaining: a count that could not possibly fit (each element needs at
+// least minBytes) is rejected before any allocation, so a hostile
+// 4-byte header cannot demand a multi-gigabyte slice.
+func (r *Reader) Count(minBytes int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n < 0 || n > r.Len()/minBytes {
+		r.fail("implausible element count %d for %d remaining bytes", n, r.Len())
+		return 0
+	}
+	return n
+}
+
+// BigInt reads a sign byte plus u32-length-prefixed magnitude.
+func (r *Reader) BigInt() *big.Int {
+	neg := r.U8()
+	if neg > 1 {
+		r.fail("malformed big.Int sign")
+		return nil
+	}
+	n := int(r.U32())
+	if n > maxBigIntBytes {
+		r.fail("oversized big.Int (%d bytes)", n)
+		return nil
+	}
+	b := r.take(n)
+	if r.err != nil {
+		return nil
+	}
+	v := new(big.Int).SetBytes(b)
+	if neg == 1 {
+		if v.Sign() == 0 {
+			r.fail("malformed big.Int: negative zero")
+			return nil
+		}
+		v.Neg(v)
+	}
+	return v
+}
+
+// BigInts reads a count-prefixed []*big.Int.
+func (r *Reader) BigInts() []*big.Int {
+	n := r.Count(5)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = r.BigInt()
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Element reads one structural group-element form (group.binwire).
+// Membership is NOT checked here — the protocol layer validates every
+// foreign element via group.Validate, exactly as on the gob path.
+func (r *Reader) Element() group.Element {
+	if r.err != nil {
+		return nil
+	}
+	e, n, err := group.DecodeElementWire(r.data[r.off:])
+	if err != nil {
+		r.fail("%v", err)
+		return nil
+	}
+	r.off += n
+	return e
+}
+
+// Value reads one nested self-describing value frame.
+func (r *Reader) Value() any {
+	if r.err != nil {
+		return nil
+	}
+	v, n, err := ConsumeValue(r.data[r.off:])
+	if err != nil {
+		r.fail("nested value: %v", err)
+		return nil
+	}
+	r.off += n
+	return v
+}
+
+// Finish returns the latched error, or an error if unread bytes
+// remain. Every codec decoder ends with it so a frame whose payload
+// carries trailing garbage is rejected rather than silently accepted.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("wirecodec: %d trailing bytes after value", r.Len())
+	}
+	return nil
+}
+
+// maxBigIntBytes bounds one integer payload, mirroring the group
+// layer's 8192-bit structural cap.
+const maxBigIntBytes = 8192 / 8
+
+// Append helpers: the encode-side counterparts, all appending to dst
+// and returning the extended slice so codecs compose without
+// intermediate allocations.
+
+// AppendU8 appends one byte.
+func AppendU8(dst []byte, v uint8) []byte { return append(dst, v) }
+
+// AppendU16 appends a big-endian uint16.
+func AppendU16(dst []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(dst, v) }
+
+// AppendU32 appends a big-endian uint32.
+func AppendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+
+// AppendU64 appends a big-endian uint64.
+func AppendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+
+// AppendI64 appends a big-endian two's-complement int64.
+func AppendI64(dst []byte, v int64) []byte { return AppendU64(dst, uint64(v)) }
+
+// AppendBool appends a bool as one byte.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendBytes appends a u32-length-prefixed byte string.
+func AppendBytes(dst, b []byte) []byte {
+	dst = AppendU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends a u32-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBigInt appends sign ‖ u32 len ‖ magnitude. A nil *big.Int is a
+// programming error on the send side and is reported, not encoded.
+func AppendBigInt(dst []byte, v *big.Int) ([]byte, error) {
+	if v == nil {
+		return nil, fmt.Errorf("wirecodec: nil *big.Int has no wire form")
+	}
+	if v.Sign() < 0 {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	b := v.Bytes()
+	if len(b) > maxBigIntBytes {
+		return nil, fmt.Errorf("wirecodec: oversized big.Int (%d bytes)", len(b))
+	}
+	dst = AppendU32(dst, uint32(len(b)))
+	return append(dst, b...), nil
+}
+
+// AppendBigInts appends a count-prefixed []*big.Int.
+func AppendBigInts(dst []byte, vs []*big.Int) ([]byte, error) {
+	dst = AppendU32(dst, uint32(len(vs)))
+	var err error
+	for _, v := range vs {
+		if dst, err = AppendBigInt(dst, v); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// AppendElement appends one structural group-element form.
+func AppendElement(dst []byte, e group.Element) ([]byte, error) {
+	return group.AppendElementWire(dst, e)
+}

@@ -1,0 +1,442 @@
+// Package wirecodec is the framework's wire format: hand-rolled
+// fixed-width binary codecs for every message that crosses a transport
+// or journal boundary, replacing encoding/gob. Gob re-emits type
+// descriptors per encoder and its reflection walk dominates hot-path
+// encode cost; these codecs write length-prefixed versioned frames with
+// deterministic layouts, so the same value always produces the same
+// bytes — which is also what lets the transport digest layer hash
+// encodings directly instead of re-walking structures.
+//
+// Frame layout (all integers big-endian):
+//
+//	offset 0: magic 'G','W'         (2 bytes)
+//	offset 2: codec version         (1 byte, currently 1)
+//	offset 3: type ID               (u16, registry key)
+//	offset 5: payload length        (u32, ≤ MaxPayload)
+//	offset 9: payload               (length bytes, codec-specific)
+//
+// The version byte is a transport-level tripwire; the authoritative
+// compatibility check is the codec-version field pinned during session
+// establishment, which turns a mismatch into a typed session abort
+// naming the parameter instead of a mid-protocol decode error.
+//
+// Protocol packages register their message codecs from init via
+// Register; registration is not safe for concurrent use and must
+// finish before any encode/decode traffic. Types without a codec fall
+// back to a gob-encoded frame (type ID 1), so auxiliary values — test
+// scaffolding, one-off diagnostics — keep working unchanged.
+package wirecodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"reflect"
+	"sync"
+
+	"groupranking/internal/group"
+)
+
+const (
+	// Version is the wire-format version this build speaks. Peers pin
+	// it during session establishment; frames carrying any other value
+	// are rejected at the boundary.
+	Version = 1
+
+	// headerLen is the fixed frame header size.
+	headerLen = 9
+
+	// MaxPayload bounds a single frame's payload (64 MiB). The largest
+	// legitimate message — a permuted ciphertext matrix with proofs —
+	// is well under 1 MiB at production parameters.
+	MaxPayload = 1 << 26
+)
+
+// Reserved type IDs. Protocol packages allocate from the documented
+// ranges below; collisions panic at init.
+const (
+	idGob     uint16 = 1 // fallback: payload is a gob stream of `any`
+	idNil     uint16 = 2
+	IDElement uint16 = 3
+	idBigInt  uint16 = 4
+	idBigInts uint16 = 5
+	idInt     uint16 = 6
+	idString  uint16 = 7
+	idBytes   uint16 = 8
+
+	// IDRangeCrypto is the base ID for crypto-layer payloads
+	// (elgamal, zkp): 16–31.
+	IDRangeCrypto uint16 = 16
+	// IDRangeProtocol is the base ID for protocol messages
+	// (unlinksort, dotprod, ssmpc, topk): 32–63.
+	IDRangeProtocol uint16 = 32
+	// IDRangeCore is the base ID for session-layer messages: 64–79.
+	IDRangeCore uint16 = 64
+	// IDRangeTransport is the base ID for transport envelopes and
+	// control frames: 80–95.
+	IDRangeTransport uint16 = 80
+)
+
+var frameMagic = [2]byte{'G', 'W'}
+
+// Boundary errors. Decode failures are reported, never panicked, so a
+// hostile peer cannot crash the receive loop.
+var (
+	ErrBadMagic       = errors.New("wirecodec: bad frame magic")
+	ErrTruncatedFrame = errors.New("wirecodec: truncated frame")
+	ErrOversizedFrame = errors.New("wirecodec: frame exceeds size cap")
+)
+
+// VersionError reports a frame speaking a different wire-format
+// version than this build.
+type VersionError struct {
+	Got, Want uint8
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wirecodec: frame version %d, this build speaks %d", e.Got, e.Want)
+}
+
+// UnknownTypeError reports a frame whose type ID has no registered
+// decoder in this build.
+type UnknownTypeError struct {
+	ID uint16
+}
+
+func (e *UnknownTypeError) Error() string {
+	return fmt.Sprintf("wirecodec: no codec registered for type ID %d", e.ID)
+}
+
+// EncodeFunc appends v's payload bytes to dst. It must be
+// deterministic: one value, one encoding.
+type EncodeFunc func(dst []byte, v any) ([]byte, error)
+
+// DecodeFunc parses a complete payload back into a value. It must
+// consume every byte (end with Reader.Finish) and must not retain
+// data, which may be a pooled buffer.
+type DecodeFunc func(data []byte) (any, error)
+
+type codec struct {
+	id   uint16
+	name string
+	enc  EncodeFunc
+	dec  DecodeFunc
+}
+
+var (
+	encByType = map[reflect.Type]*codec{}
+	decByID   = map[uint16]*codec{}
+)
+
+// Register installs a codec for the concrete dynamic types of the
+// given prototypes. Several types may share one ID (the element codec
+// covers every group's element type). Call from init only; duplicate
+// IDs or types panic immediately rather than corrupting traffic later.
+func Register(id uint16, name string, prototypes []any, enc EncodeFunc, dec DecodeFunc) {
+	if id == 0 || id == idGob || id == idNil {
+		panic(fmt.Sprintf("wirecodec: type ID %d is reserved", id))
+	}
+	if _, dup := decByID[id]; dup {
+		panic(fmt.Sprintf("wirecodec: type ID %d registered twice", id))
+	}
+	c := &codec{id: id, name: name, enc: enc, dec: dec}
+	decByID[id] = c
+	for _, p := range prototypes {
+		t := reflect.TypeOf(p)
+		if t == nil {
+			panic("wirecodec: nil prototype")
+		}
+		if _, dup := encByType[t]; dup {
+			panic(fmt.Sprintf("wirecodec: type %v registered twice", t))
+		}
+		encByType[t] = c
+	}
+}
+
+// lookup resolves v's codec, falling back to gob for unregistered
+// types.
+func lookup(v any) *codec {
+	if v == nil {
+		return decByID[idNil]
+	}
+	if c, ok := encByType[reflect.TypeOf(v)]; ok {
+		return c
+	}
+	return decByID[idGob]
+}
+
+// AppendValue appends one complete frame encoding v to dst.
+func AppendValue(dst []byte, v any) ([]byte, error) {
+	c := lookup(v)
+	start := len(dst)
+	dst = append(dst, frameMagic[0], frameMagic[1], Version)
+	dst = AppendU16(dst, c.id)
+	dst = AppendU32(dst, 0) // length backfilled below
+	out, err := c.enc(dst, v)
+	if err != nil {
+		return nil, fmt.Errorf("wirecodec: encoding %s: %w", c.name, err)
+	}
+	n := len(out) - start - headerLen
+	if n > MaxPayload {
+		return nil, fmt.Errorf("%w: %s payload is %d bytes", ErrOversizedFrame, c.name, n)
+	}
+	binary.BigEndian.PutUint32(out[start+5:], uint32(n))
+	return out, nil
+}
+
+// Marshal encodes v as one frame in a fresh buffer.
+func Marshal(v any) ([]byte, error) {
+	return AppendValue(nil, v)
+}
+
+// MarshalRegistered encodes v only if a hand-rolled codec covers its
+// type; it reports false for gob-fallback types. The transport digest
+// layer uses it to hash canonical encodings directly — all or nothing,
+// so a digest never mixes binary and gob forms for one value.
+func MarshalRegistered(v any) ([]byte, bool) {
+	c := lookup(v)
+	if c.id == idGob {
+		return nil, false
+	}
+	b, err := AppendValue(nil, v)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// ConsumeValue parses one frame from the front of data, returning the
+// value and the bytes consumed.
+func ConsumeValue(data []byte) (any, int, error) {
+	if len(data) < headerLen {
+		return nil, 0, ErrTruncatedFrame
+	}
+	if data[0] != frameMagic[0] || data[1] != frameMagic[1] {
+		return nil, 0, ErrBadMagic
+	}
+	if data[2] != Version {
+		return nil, 0, &VersionError{Got: data[2], Want: Version}
+	}
+	id := binary.BigEndian.Uint16(data[3:5])
+	n := int(binary.BigEndian.Uint32(data[5:9]))
+	if n > MaxPayload {
+		return nil, 0, fmt.Errorf("%w: %d-byte payload", ErrOversizedFrame, n)
+	}
+	if len(data) < headerLen+n {
+		return nil, 0, ErrTruncatedFrame
+	}
+	c, ok := decByID[id]
+	if !ok {
+		return nil, 0, &UnknownTypeError{ID: id}
+	}
+	v, err := c.dec(data[headerLen : headerLen+n])
+	if err != nil {
+		return nil, 0, fmt.Errorf("wirecodec: decoding %s: %w", c.name, err)
+	}
+	return v, headerLen + n, nil
+}
+
+// Unmarshal parses exactly one frame spanning all of data.
+func Unmarshal(data []byte) (any, error) {
+	v, n, err := ConsumeValue(data)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("wirecodec: %d trailing bytes after frame", len(data)-n)
+	}
+	return v, nil
+}
+
+// Pooled encode/decode buffers. Oversized buffers are dropped rather
+// than returned so one pathological message cannot pin memory.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) {
+	if cap(*b) <= maxPooledBuf {
+		*b = (*b)[:0]
+		bufPool.Put(b)
+	}
+}
+
+// WriteValue encodes v into a pooled buffer and writes the frame to w
+// in a single Write call, so stream transports emit one packet per
+// message without an allocation per send.
+func WriteValue(w io.Writer, v any) error {
+	b := getBuf()
+	defer putBuf(b)
+	out, err := AppendValue((*b)[:0], v)
+	if err != nil {
+		return err
+	}
+	*b = out
+	_, err = w.Write(out)
+	return err
+}
+
+// ReadValue reads one frame from r and decodes it. Short reads and
+// malformed headers surface as errors; the payload passes through a
+// pooled buffer, which is safe because decoders copy what they keep.
+func ReadValue(r io.Reader) (any, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] {
+		return nil, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return nil, &VersionError{Got: hdr[2], Want: Version}
+	}
+	id := binary.BigEndian.Uint16(hdr[3:5])
+	n := int(binary.BigEndian.Uint32(hdr[5:9]))
+	if n > MaxPayload {
+		return nil, fmt.Errorf("%w: %d-byte payload", ErrOversizedFrame, n)
+	}
+	c, ok := decByID[id]
+	if !ok {
+		return nil, &UnknownTypeError{ID: id}
+	}
+	b := getBuf()
+	defer putBuf(b)
+	if cap(*b) < n {
+		*b = make([]byte, n)
+	}
+	payload := (*b)[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wirecodec: reading %s payload: %w", c.name, err)
+	}
+	v, err := c.dec(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wirecodec: decoding %s: %w", c.name, err)
+	}
+	return v, nil
+}
+
+// Builtin codecs: the gob fallback, nil, group elements, and the
+// scalar types protocol messages are built from.
+func init() {
+	decByID[idGob] = &codec{id: idGob, name: "gob", enc: encGob, dec: decGob}
+	decByID[idNil] = &codec{
+		id: idNil, name: "nil",
+		enc: func(dst []byte, v any) ([]byte, error) { return dst, nil },
+		dec: func(data []byte) (any, error) {
+			if len(data) != 0 {
+				return nil, fmt.Errorf("nil frame carries %d payload bytes", len(data))
+			}
+			return nil, nil
+		},
+	}
+
+	protos := make([]any, 0, 2)
+	for _, e := range group.ElementPrototypes() {
+		protos = append(protos, e)
+	}
+	Register(IDElement, "group element", protos,
+		func(dst []byte, v any) ([]byte, error) {
+			return group.AppendElementWire(dst, v.(group.Element))
+		},
+		func(data []byte) (any, error) {
+			e, n, err := group.DecodeElementWire(data)
+			if err != nil {
+				return nil, err
+			}
+			if n != len(data) {
+				return nil, fmt.Errorf("%d trailing bytes after element", len(data)-n)
+			}
+			return e, nil
+		})
+
+	Register(idBigInt, "big integer", []any{new(big.Int)},
+		func(dst []byte, v any) ([]byte, error) { return AppendBigInt(dst, v.(*big.Int)) },
+		func(data []byte) (any, error) {
+			r := NewReader(data)
+			v := r.BigInt()
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			return v, nil
+		})
+
+	Register(idBigInts, "big integer slice", []any{[]*big.Int{}},
+		func(dst []byte, v any) ([]byte, error) { return AppendBigInts(dst, v.([]*big.Int)) },
+		func(data []byte) (any, error) {
+			r := NewReader(data)
+			v := r.BigInts()
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			if v == nil {
+				v = []*big.Int{}
+			}
+			return v, nil
+		})
+
+	Register(idInt, "int", []any{int(0)},
+		func(dst []byte, v any) ([]byte, error) { return AppendI64(dst, int64(v.(int))), nil },
+		func(data []byte) (any, error) {
+			r := NewReader(data)
+			v := r.Int()
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			return v, nil
+		})
+
+	Register(idString, "string", []any{""},
+		func(dst []byte, v any) ([]byte, error) { return AppendString(dst, v.(string)), nil },
+		func(data []byte) (any, error) {
+			r := NewReader(data)
+			v := r.String()
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			return v, nil
+		})
+
+	Register(idBytes, "byte slice", []any{[]byte{}},
+		func(dst []byte, v any) ([]byte, error) { return AppendBytes(dst, v.([]byte)), nil },
+		func(data []byte) (any, error) {
+			r := NewReader(data)
+			v := r.Bytes()
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			if v == nil {
+				v = []byte{}
+			}
+			return v, nil
+		})
+}
+
+// encGob is the fallback encoder for unregistered types. It spends a
+// fresh gob encoder (type descriptors and all) per value — exactly the
+// cost profile the registered codecs exist to avoid — but keeps
+// auxiliary traffic working without a hand-written layout.
+func encGob(dst []byte, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+func decGob(data []byte) (any, error) {
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

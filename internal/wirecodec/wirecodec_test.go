@@ -1,0 +1,232 @@
+package wirecodec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"groupranking/internal/group"
+)
+
+func testGroups(t *testing.T) []group.Group {
+	t.Helper()
+	dl, err := group.ToyDL256()
+	if err != nil {
+		t.Fatalf("ToyDL256: %v", err)
+	}
+	return []group.Group{dl, group.Secp160r1()}
+}
+
+func TestRoundtripScalars(t *testing.T) {
+	cases := []any{
+		nil,
+		int(0),
+		int(-42),
+		int(1 << 40),
+		"",
+		"hello wire",
+		[]byte{},
+		[]byte{0, 1, 2, 255},
+		big.NewInt(0),
+		big.NewInt(-12345),
+		new(big.Int).Lsh(big.NewInt(1), 1000),
+		[]*big.Int{},
+		[]*big.Int{big.NewInt(7), big.NewInt(-9), big.NewInt(0)},
+	}
+	for _, v := range cases {
+		b, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("Marshal(%#v): %v", v, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%#v): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("roundtrip %#v: got %#v", v, got)
+		}
+	}
+}
+
+func TestRoundtripElements(t *testing.T) {
+	for _, g := range testGroups(t) {
+		k := big.NewInt(123456789)
+		for _, e := range []group.Element{g.Identity(), g.Generator(), group.ExpGen(g, k)} {
+			b, err := Marshal(e)
+			if err != nil {
+				t.Fatalf("%s: Marshal: %v", g.Name(), err)
+			}
+			got, err := Unmarshal(b)
+			if err != nil {
+				t.Fatalf("%s: Unmarshal: %v", g.Name(), err)
+			}
+			ge, ok := got.(group.Element)
+			if !ok {
+				t.Fatalf("%s: decoded %T, want element", g.Name(), got)
+			}
+			if !g.Equal(ge, e) {
+				t.Fatalf("%s: element changed across roundtrip", g.Name())
+			}
+		}
+	}
+}
+
+func TestGobFallback(t *testing.T) {
+	type oddball struct {
+		A string
+		B int
+	}
+	// gob needs interface registration for the fallback's `any` slot
+	gob.Register(map[string]int{})
+	v := map[string]int{"x": 3}
+	b, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("Marshal fallback: %v", err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal fallback: %v", err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("fallback roundtrip: got %#v want %#v", got, v)
+	}
+	if _, ok := MarshalRegistered(oddball{A: "q", B: 1}); ok {
+		t.Fatal("MarshalRegistered claimed coverage for an unregistered type")
+	}
+	if _, ok := MarshalRegistered(big.NewInt(9)); !ok {
+		t.Fatal("MarshalRegistered refused a registered type")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	v := []*big.Int{big.NewInt(42), new(big.Int).Lsh(big.NewInt(3), 300)}
+	a, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same value produced different encodings")
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	good, err := Marshal(big.NewInt(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for i := 0; i < len(good); i++ {
+			if _, _, err := ConsumeValue(good[:i]); err == nil {
+				t.Fatalf("accepted %d-byte prefix of a %d-byte frame", i, len(good))
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] = 'X'
+		if _, _, err := ConsumeValue(b); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[2] = Version + 1
+		_, _, err := ConsumeValue(b)
+		var ve *VersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("got %v, want VersionError", err)
+		}
+		if ve.Got != Version+1 || ve.Want != Version {
+			t.Fatalf("VersionError fields got=%d want=%d", ve.Got, ve.Want)
+		}
+	})
+	t.Run("unknown type", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[3], b[4] = 0xFF, 0xFF
+		_, _, err := ConsumeValue(b)
+		var ue *UnknownTypeError
+		if !errors.As(err, &ue) {
+			t.Fatalf("got %v, want UnknownTypeError", err)
+		}
+	})
+	t.Run("oversized", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[5], b[6], b[7], b[8] = 0xFF, 0xFF, 0xFF, 0xFF
+		if _, _, err := ConsumeValue(b); !errors.Is(err, ErrOversizedFrame) {
+			t.Fatalf("got %v, want ErrOversizedFrame", err)
+		}
+	})
+	t.Run("trailing payload garbage", func(t *testing.T) {
+		// Extend the payload by one byte and fix up the length so the
+		// frame parses but the int codec sees 9 payload bytes.
+		b := append(append([]byte(nil), good...), 0)
+		b[8]++
+		if _, _, err := ConsumeValue(b); err == nil {
+			t.Fatal("accepted payload with trailing bytes")
+		}
+	})
+	t.Run("trailing frame garbage", func(t *testing.T) {
+		if _, err := Unmarshal(append(append([]byte(nil), good...), 1, 2, 3)); err == nil {
+			t.Fatal("Unmarshal accepted trailing bytes")
+		}
+	})
+}
+
+func TestStreamRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	vals := []any{int(5), "stream", big.NewInt(1 << 30), nil}
+	for _, v := range vals {
+		if err := WriteValue(&buf, v); err != nil {
+			t.Fatalf("WriteValue(%#v): %v", v, err)
+		}
+	}
+	for _, want := range vals {
+		got, err := ReadValue(&buf)
+		if err != nil {
+			t.Fatalf("ReadValue: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("stream roundtrip: got %#v want %#v", got, want)
+		}
+	}
+	if _, err := ReadValue(&buf); err == nil {
+		t.Fatal("ReadValue on empty stream succeeded")
+	}
+}
+
+func TestReaderHostileCounts(t *testing.T) {
+	// A 4-byte count header demanding millions of entries must fail
+	// before allocating, not after.
+	b := AppendU32(nil, 1<<31-1)
+	r := NewReader(b)
+	if got := r.Count(5); got != 0 || r.Err() == nil {
+		t.Fatalf("Count accepted implausible header: n=%d err=%v", got, r.Err())
+	}
+	r2 := NewReader(AppendU32(nil, 1<<30))
+	if r2.BigInts() != nil || r2.Err() == nil {
+		t.Fatal("BigInts accepted implausible count")
+	}
+}
+
+func TestNestedValueReader(t *testing.T) {
+	inner, err := AppendValue(nil, big.NewInt(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(inner)
+	v := r.Value()
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if v.(*big.Int).Int64() != 99 {
+		t.Fatalf("nested value: got %v", v)
+	}
+}

@@ -169,6 +169,7 @@ func rankPartyParams(q *Questionnaire, addrs []string, opts Options) (core.Param
 		D1: o.D1, D2: o.D2, H: o.H, K: o.K,
 		Group: g, Sorter: o.Sorter, SkipProofs: o.SkipProofs,
 		ProveDecryption: o.ProveDecryption, Workers: o.Workers,
+		WireCodec: o.WireCodec,
 	}
 	if err := params.Validate(); err != nil {
 		return params, o, err
