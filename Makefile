@@ -7,7 +7,7 @@ GO ?= go
 # protocol party, fault-injection delays, TCP pumps, the lock-cheap
 # observability registry): these run under the race detector in short
 # mode as part of check.
-RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./internal/journal/ ./internal/blame/ ./internal/telemetry/ ./internal/tracemerge/ ./cmd/rankparty/
+RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./internal/obsv/ ./internal/kernel/ ./internal/journal/ ./internal/blame/ ./internal/telemetry/ ./internal/tracemerge/ ./internal/service/ ./cmd/rankparty/ ./cmd/rankd/
 
 # Packages with fuzz targets guarding the untrusted decode boundaries
 # (group element parsing, wirecodec frames, transport pumps). `make
@@ -16,9 +16,9 @@ RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./i
 FUZZ_PKGS := ./internal/group/ ./internal/wirecodec/ ./internal/elgamal/ ./internal/transport/
 FUZZ_TIME ?= 2s
 
-.PHONY: check vet build test race race-full fuzz chaos chaos-byz bench bench-json bench-compare trace-demo demo-distributed telemetry-demo clean
+.PHONY: check vet build test race race-full fuzz chaos chaos-byz bench bench-json bench-compare trace-demo demo-distributed telemetry-demo serve-demo loadtest-smoke clean
 
-check: vet build test race fuzz
+check: vet build test race fuzz serve-demo loadtest-smoke
 
 # staticcheck is optional tooling: run it when the developer has it
 # installed, stay silent (and green) when they do not.
@@ -116,6 +116,42 @@ telemetry-demo:
 	  -me 0 -attrs age:eq,activity:gt -values 30,0 -weights 2,1 -k 2 -d1 7 -d2 4 -h 6 -group toy-dl-256 -seed demo \
 	  -admin 127.0.0.1:9424 -trace /tmp/rank-p0.jsonl && wait
 	/tmp/ranktrace /tmp/rank-p0.jsonl /tmp/rank-p1.jsonl /tmp/rank-p2.jsonl /tmp/rank-p3.jsonl
+
+# Ranking as a service, end to end: a 4-daemon rankd mesh over
+# loopback TCP plus one client round trip through the submit/poll API
+# (create at the initiator daemon, one profile per participant daemon,
+# poll the result), with the one-connection-per-peer-pair telemetry
+# assertion. The quickest way to see the service deployment work.
+serve-demo:
+	$(GO) build -o /tmp/rankd ./cmd/rankd
+	$(GO) build -o /tmp/rankload ./cmd/rankload
+	@mesh=127.0.0.1:9461,127.0.0.1:9462,127.0.0.1:9463,127.0.0.1:9464; \
+	/tmp/rankd -addrs $$mesh -me 0 -api 127.0.0.1:9471 -admin 127.0.0.1:9481 & p0=$$!; \
+	/tmp/rankd -addrs $$mesh -me 1 -api 127.0.0.1:9472 & p1=$$!; \
+	/tmp/rankd -addrs $$mesh -me 2 -api 127.0.0.1:9473 & p2=$$!; \
+	/tmp/rankd -addrs $$mesh -me 3 -api 127.0.0.1:9474 & p3=$$!; \
+	sleep 1; \
+	/tmp/rankload -apis http://127.0.0.1:9471,http://127.0.0.1:9472,http://127.0.0.1:9473,http://127.0.0.1:9474 \
+	  -sessions 1 -concurrency 1 -metrics http://127.0.0.1:9481; st=$$?; \
+	kill $$p0 $$p1 $$p2 $$p3 2>/dev/null; wait; exit $$st
+
+# The service acceptance run: 100 concurrent seeded sessions across a
+# real 4-process daemon mesh, every outcome checked against the
+# plaintext ground truth, throughput and p50/p99 reported, and the
+# tentpole property asserted from the initiator daemon's metrics — the
+# whole run used exactly ONE mesh connection per peer pair.
+loadtest-smoke:
+	$(GO) build -o /tmp/rankd ./cmd/rankd
+	$(GO) build -o /tmp/rankload ./cmd/rankload
+	@mesh=127.0.0.1:9401,127.0.0.1:9402,127.0.0.1:9403,127.0.0.1:9404; \
+	/tmp/rankd -addrs $$mesh -me 0 -api 127.0.0.1:9441 -admin 127.0.0.1:9451 & p0=$$!; \
+	/tmp/rankd -addrs $$mesh -me 1 -api 127.0.0.1:9442 & p1=$$!; \
+	/tmp/rankd -addrs $$mesh -me 2 -api 127.0.0.1:9443 & p2=$$!; \
+	/tmp/rankd -addrs $$mesh -me 3 -api 127.0.0.1:9444 & p3=$$!; \
+	sleep 1; \
+	/tmp/rankload -apis http://127.0.0.1:9441,http://127.0.0.1:9442,http://127.0.0.1:9443,http://127.0.0.1:9444 \
+	  -sessions 100 -concurrency 16 -metrics http://127.0.0.1:9451; st=$$?; \
+	kill $$p0 $$p1 $$p2 $$p3 2>/dev/null; wait; exit $$st
 
 clean:
 	$(GO) clean ./...

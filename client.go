@@ -1,0 +1,214 @@
+package groupranking
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"groupranking/internal/api"
+)
+
+// The typed client for rankd, the ranking-as-a-service daemon
+// (cmd/rankd, internal/service). The deployment model: one daemon per
+// mesh slot — daemon 0 plays the initiator, daemon j participant j —
+// each hosting many concurrent sessions over one multiplexed
+// connection per peer pair. A client creates a session at the
+// initiator daemon's endpoint (carrying the private criterion, which
+// never leaves that daemon), each participant posts its private
+// profile to its own daemon, and everyone polls the result.
+
+// SessionSpec describes a service session: the questionnaire, the
+// initiator's criterion, and the protocol knobs. See internal/api for
+// field semantics; zero-value knobs take the framework defaults.
+type SessionSpec = api.SessionSpec
+
+// ClientAttribute names one questionnaire dimension in a SessionSpec
+// (kinds AttrEqualTo / AttrGreaterThan).
+type ClientAttribute = api.Attribute
+
+// Attribute kind names for SessionSpec.Attributes.
+const (
+	// AttrEqualTo marks an attribute that scores best near the
+	// criterion value.
+	AttrEqualTo = api.KindEqualTo
+	// AttrGreaterThan marks an attribute that scores best above the
+	// criterion value.
+	AttrGreaterThan = api.KindGreaterThan
+)
+
+// ClientCriterion is the initiator's private criterion in a
+// SessionSpec.
+type ClientCriterion = api.Criterion
+
+// SessionInfo is a session's identity and lifecycle state.
+type SessionInfo = api.SessionInfo
+
+// SessionResult is one daemon's view of a session outcome: the
+// initiator daemon reports Submissions/Suspicious, a participant
+// daemon its own Rank. State is one of the api.State* values; Error
+// carries the abort cause when State is "aborted".
+type SessionResult = api.ResultResponse
+
+// Session states a SessionResult.State can report.
+const (
+	SessionPending      = api.StatePending
+	SessionEstablishing = api.StateEstablishing
+	SessionRunning      = api.StateRunning
+	SessionDone         = api.StateDone
+	SessionAborted      = api.StateAborted
+)
+
+// APIError is the typed error every non-2xx daemon response decodes
+// to.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable machine-readable cause (api.Code* values,
+	// e.g. "admission_full").
+	Code string
+	// Message is the human-readable cause.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("groupranking: daemon answered %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// IsAdmissionFull reports whether err is the daemon's admission-cap
+// rejection — the one client error worth retrying with backoff.
+func IsAdmissionFull(err error) bool {
+	e, ok := err.(*APIError)
+	return ok && e.Code == "admission_full"
+}
+
+// Client talks to one rankd daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:9441"). hc nil uses http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: baseURL, hc: hc}
+}
+
+// do runs one JSON round trip; out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("groupranking: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, Code: "unknown"}
+		var e api.Error
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Code != "" {
+			apiErr.Code, apiErr.Message = e.Code, e.Message
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession creates a session at the initiator daemon and returns
+// its ID. The spec's Criterion stays at that daemon; participants are
+// told everything else (including the seed) over the daemons' control
+// plane.
+func (c *Client) CreateSession(ctx context.Context, spec SessionSpec) (string, error) {
+	var info api.SessionInfo
+	if err := c.do(ctx, http.MethodPost, api.PathSessions, spec, &info); err != nil {
+		return "", err
+	}
+	return info.ID, nil
+}
+
+// Submit posts one participant's private profile to its own daemon,
+// starting that daemon's half of the session.
+func (c *Client) Submit(ctx context.Context, id string, values []int64) error {
+	return c.do(ctx, http.MethodPost, api.SubmitPath(id), api.SubmitRequest{Values: values}, nil)
+}
+
+// Result polls a session's outcome once. The returned State says how
+// far the session is; the outcome fields are filled when it is
+// terminal (SessionDone or SessionAborted).
+func (c *Client) Result(ctx context.Context, id string) (*SessionResult, error) {
+	var res SessionResult
+	if err := c.do(ctx, http.MethodGet, api.ResultPath(id), nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Info fetches a session's lifecycle snapshot.
+func (c *Client) Info(ctx context.Context, id string) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(ctx, http.MethodGet, api.SessionPath(id), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Sessions lists the daemon's hosted sessions, oldest first.
+func (c *Client) Sessions(ctx context.Context) ([]SessionInfo, error) {
+	var infos []SessionInfo
+	if err := c.do(ctx, http.MethodGet, api.PathSessions, nil, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// WaitResult polls every interval (default 25ms) until the session is
+// terminal or ctx expires. An aborted session is returned with a nil
+// error — the abort cause is in SessionResult.Error; the caller
+// decides whether that is a failure.
+func (c *Client) WaitResult(ctx context.Context, id string, interval time.Duration) (*SessionResult, error) {
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		res, err := c.Result(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if api.Terminal(res.State) {
+			return res, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,11 +48,11 @@ func emitSortRow(n, bits int, groupName string, workers int) {
 		values[i] = v.Uint64()
 	}
 	start := time.Now()
-	res, err := groupranking.UnlinkableSortStats(values, groupranking.SortOptions{
+	res, err := groupranking.UnlinkableSort(context.Background(), values, groupranking.SortOptions{
 		GroupName: groupName,
 		Bits:      bits,
 		Seed:      "benchtab-sort",
-		Workers:   workers,
+		Runtime:   groupranking.Runtime{Workers: workers},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -100,8 +101,7 @@ func main() {
 		K:         *k,
 		D1:        *d1, D2: *d2, H: *h,
 		Seed:    *seed,
-		Timeout: *timeout,
-		Workers: *workers,
+		Runtime: groupranking.Runtime{Timeout: *timeout, Workers: *workers},
 	}
 	if *faultDrop > 0 || *faultDup > 0 || *faultReorder > 0 || *faultCorrupt > 0 ||
 		*faultDelay > 0 || *crashParty >= 0 {
@@ -156,7 +156,7 @@ func main() {
 		}
 	}
 
-	res, err := groupranking.Rank(q, crit, profiles, opts)
+	res, err := groupranking.Rank(context.Background(), q, crit, profiles, opts)
 	if err != nil {
 		// The Observer outlives the failed run: dump the partial trace so
 		// the typed abort diagnostics come with the timeline that led to

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,7 +28,7 @@ func TestLoadScenario(t *testing.T) {
 		t.Errorf("criterion weights %v", crit.Weights)
 	}
 	// The loaded scenario must actually run.
-	res, err := groupranking.Rank(q, crit, profiles, groupranking.Options{
+	res, err := groupranking.Rank(context.Background(), q, crit, profiles, groupranking.Options{
 		K: k, D1: 10, D2: 4, H: 6, Seed: "scenario-test", GroupName: "toy-dl-256",
 	})
 	if err != nil {
@@ -95,7 +96,7 @@ func TestFromPreset(t *testing.T) {
 		t.Error("preset bit widths not adopted")
 	}
 	// The preset workload must run end-to-end.
-	res, err := groupranking.Rank(q, crit, profiles, groupranking.Options{
+	res, err := groupranking.Rank(context.Background(), q, crit, profiles, groupranking.Options{
 		K: 2, D1: d1, D2: d2, H: 6, Seed: "preset-run", GroupName: "toy-dl-256",
 	})
 	if err != nil {

@@ -1,0 +1,141 @@
+// Command rankd runs ONE daemon of the ranking-as-a-service
+// deployment: a long-running coordinator process hosting many
+// concurrent privacy-preserving ranking sessions over a single
+// multiplexed connection per peer daemon. Index 0 of -addrs is the
+// initiator daemon (clients create sessions and poll initiator-side
+// results there); indices 1..n are participant daemons (each takes its
+// own participant's private profile submissions).
+//
+//	rankd -addrs :9401,:9402,:9403,:9404 -me 0 -api :9441 -admin :9451
+//	rankd -addrs :9401,:9402,:9403,:9404 -me 1 -api :9442
+//	...
+//
+// Clients drive the mesh through the submit/poll HTTP API on -api
+// (POST /v1/sessions at daemon 0, POST /v1/sessions/{id}/submit at
+// each participant daemon, GET /v1/sessions/{id}/result anywhere; see
+// the groupranking.Client type). -admin serves live telemetry —
+// /metrics includes the mux link counters that prove N concurrent
+// sessions share one connection per peer pair, plus the service
+// session lifecycle counters.
+//
+// SIGINT/SIGTERM shuts the daemon down cleanly: in-flight sessions
+// abort, the mesh connections close, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"groupranking"
+	"groupranking/internal/service"
+	"groupranking/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("rankd: ")
+	var (
+		addrsFlag      = flag.String("addrs", "", "comma-separated mesh listen addresses of all daemons in index order; index 0 is the initiator daemon")
+		me             = flag.Int("me", -1, "this daemon's index into -addrs (0 = initiator daemon)")
+		apiAddr        = flag.String("api", "", "serve the session HTTP API on this address")
+		adminAddr      = flag.String("admin", "", "serve live telemetry on this address: /metrics, /healthz, /debug/pprof")
+		maxSessions    = flag.Int("max-sessions", 64, "admission cap: most concurrent non-terminal sessions this daemon hosts")
+		resultTTL      = flag.Duration("result-ttl", 5*time.Minute, "how long a finished session's result stays pollable")
+		sessionTimeout = flag.Duration("session-timeout", 2*time.Minute, "default (and ceiling) per-session budget")
+		workers        = flag.Int("workers", 0, "goroutines per session's crypto hot loops (0 = all CPUs, 1 = serial)")
+		queueCap       = flag.Int("queue-cap", 0, "per-session receive budget in frames per peer link (0 = the transport default)")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*addrsFlag, ",")
+	if *addrsFlag == "" || len(addrs) < 3 {
+		log.Print("need -addrs with the initiator daemon plus at least two participant daemons (three addresses)")
+		return 2
+	}
+	if *apiAddr == "" {
+		log.Print("need -api with the session HTTP API listen address")
+		return 2
+	}
+	cfg := service.Config{
+		Addrs:       addrs,
+		Me:          *me,
+		MaxSessions: *maxSessions,
+		ResultTTL:   *resultTTL,
+		QueueCap:    *queueCap,
+		Runtime: groupranking.Runtime{
+			Timeout: *sessionTimeout,
+			Workers: *workers,
+		},
+	}
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		tel := groupranking.NewTelemetry()
+		cfg.Telemetry = tel
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Printf("-admin: %v", err)
+			return 2
+		}
+		adminSrv = &http.Server{Handler: telemetry.AdminMux(tel)}
+		go adminSrv.Serve(ln)
+		defer adminSrv.Close()
+		log.Printf("admin endpoint on http://%s (/metrics, /healthz, /debug/pprof)", ln.Addr())
+	}
+
+	// Bind the API listener before joining the mesh so a bad -api fails
+	// fast, but only serve once the daemon is up.
+	apiLn, err := net.Listen("tcp", *apiAddr)
+	if err != nil {
+		log.Printf("-api: %v", err)
+		return 2
+	}
+	defer apiLn.Close()
+
+	log.Printf("daemon %d joining the %d-daemon mesh...", *me, len(addrs))
+	d, err := service.NewDaemon(cfg)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer d.Close()
+
+	srv := &http.Server{Handler: d.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(apiLn) }()
+	role := "participant"
+	if d.Me() == 0 {
+		role = "initiator"
+	}
+	log.Printf("%s daemon serving the session API on http://%s (cap %d sessions, result TTL %v)",
+		role, apiLn.Addr(), *maxSessions, *resultTTL)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("caught %v; shutting down", s)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("api server: %v", err)
+			return 1
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	d.Close()
+	return 0
+}

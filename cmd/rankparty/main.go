@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -143,9 +144,8 @@ func run() int {
 		K:         *k,
 		D1:        *d1, D2: *d2, H: *h,
 		Seed:      *seed,
-		Timeout:   *timeout,
-		Workers:   *workers,
 		WireCodec: *wireCodec,
+		Runtime:   groupranking.Runtime{Timeout: *timeout, Workers: *workers},
 	}
 	if *journalDir != "" {
 		opts.Recovery = &groupranking.RecoveryOptions{Dir: *journalDir, Grace: *grace, Heartbeat: *heartbeat}
@@ -245,7 +245,7 @@ func run() int {
 			return 2
 		}
 		crit := groupranking.Criterion{Values: values, Weights: weights}
-		res, err := groupranking.RankInitiatorParty(q, crit, addrs, opts)
+		res, err := groupranking.RankInitiatorParty(context.Background(), q, crit, addrs, opts)
 		report()
 		if err != nil {
 			return fail(err, addrs, *blameOut)
@@ -270,7 +270,7 @@ func run() int {
 		return 2
 	}
 	profile := groupranking.Profile{Values: values}
-	res, err := groupranking.RankParticipantParty(q, addrs, *me, profile, opts)
+	res, err := groupranking.RankParticipantParty(context.Background(), q, addrs, *me, profile, opts)
 	report()
 	if err != nil {
 		return fail(err, addrs, *blameOut)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -85,13 +86,15 @@ func run() int {
 		}
 	}
 
-	rank, err := groupranking.UnlinkableSortParty(addrs, *me, *value, groupranking.SortOptions{
+	rank, err := groupranking.UnlinkableSortParty(context.Background(), addrs, *me, *value, groupranking.SortOptions{
 		Bits:      *bits,
 		GroupName: *groupName,
 		Seed:      *seed,
-		Timeout:   *timeout,
-		Observer:  obs,
-		Workers:   *workers,
+		Runtime: groupranking.Runtime{
+			Timeout:  *timeout,
+			Observer: obs,
+			Workers:  *workers,
+		},
 	})
 	report()
 	if err != nil {

@@ -1,6 +1,7 @@
 package groupranking_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func ExampleRank() {
 		{Values: []int64{55, 20}},
 		{Values: []int64{29, 40}},
 	}
-	res, err := groupranking.Rank(q, criterion, profiles, groupranking.Options{
+	res, err := groupranking.Rank(context.Background(), q, criterion, profiles, groupranking.Options{
 		K: 1, D1: 7, D2: 3, H: 5,
 		Seed:      "example-rank", // deterministic for the docs
 		GroupName: "toy-dl-256",   // demo group; defaults to secp160r1
@@ -59,7 +60,7 @@ func ExampleRankParticipantParty() {
 	profile := groupranking.Profile{Values: []int64{29, 40}} // stays local
 	// Options must be identical at every party — the pre-crypto session
 	// handshake aborts the run (ErrSessionMismatch) if they disagree.
-	res, err := groupranking.RankParticipantParty(q, addrs, me, profile, groupranking.Options{K: 1})
+	res, err := groupranking.RankParticipantParty(context.Background(), q, addrs, me, profile, groupranking.Options{K: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,14 +70,14 @@ func ExampleRankParticipantParty() {
 // ExampleUnlinkableSort ranks privately held values; each party would
 // learn only its own entry of the result.
 func ExampleUnlinkableSort() {
-	ranks, err := groupranking.UnlinkableSort([]uint64{300, 100, 200}, groupranking.SortOptions{
+	res, err := groupranking.UnlinkableSort(context.Background(), []uint64{300, 100, 200}, groupranking.SortOptions{
 		Seed:      "example-sort",
 		GroupName: "toy-dl-256",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(ranks)
+	fmt.Println(res.Ranks)
 	// Output:
 	// [1 3 2]
 }

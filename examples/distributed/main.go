@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -47,8 +48,8 @@ func main() {
 	// Every party must start with identical protocol options — the
 	// session handshake aborts the run if they disagree.
 	opts := groupranking.Options{
-		K:         2,
-		D1:        7, D2: 4, H: 6,
+		K:  2,
+		D1: 7, D2: 4, H: 6,
 		GroupName: "toy-dl-256", // demo group; use secp160r1+ in production
 		Seed:      "distributed-example",
 	}
@@ -61,7 +62,7 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		res, err := groupranking.RankInitiatorParty(q, criterion, addrs, opts)
+		res, err := groupranking.RankInitiatorParty(context.Background(), q, criterion, addrs, opts)
 		if err != nil {
 			log.Fatalf("initiator: %v", err)
 		}
@@ -76,7 +77,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := groupranking.RankParticipantParty(q, addrs, j, profiles[j-1], opts)
+			res, err := groupranking.RankParticipantParty(context.Background(), q, addrs, j, profiles[j-1], opts)
 			if err != nil {
 				log.Fatalf("%s: %v", names[j-1], err)
 			}

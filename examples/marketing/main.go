@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	const k = 4
-	res, err := groupranking.Rank(q, criterion, profiles, groupranking.Options{
+	res, err := groupranking.Rank(context.Background(), q, criterion, profiles, groupranking.Options{
 		K: k, D1: 10, D2: 4, H: 8, Seed: "marketing-campaign", GroupName: "toy-dl-256",
 	})
 	if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 		{Values: []int64{10, 90, 95, 30}},
 	}
 
-	res, err := groupranking.Rank(q, seeker, profiles, groupranking.Options{
+	res, err := groupranking.Rank(context.Background(), q, seeker, profiles, groupranking.Options{
 		K: 2, D1: 7, D2: 3, H: 7, Seed: "matchmaking", GroupName: "toy-dl-256",
 	})
 	if err != nil {

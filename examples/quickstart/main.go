@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 
 	// Small bit widths keep this demo fast; production defaults are
 	// d1=15, d2=10, h=15 (see Options).
-	res, err := groupranking.Rank(q, criterion, profiles, groupranking.Options{
+	res, err := groupranking.Rank(context.Background(), q, criterion, profiles, groupranking.Options{
 		K: 3, D1: 7, D2: 4, H: 6, Seed: "quickstart",
 		// toy-dl-256 is a demo-only group so the example finishes in
 		// seconds; drop this line to use the production default secp160r1.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 	}
 
 	const shortlist = 3
-	res, err := groupranking.Rank(q, employer, profiles, groupranking.Options{
+	res, err := groupranking.Rank(context.Background(), q, employer, profiles, groupranking.Options{
 		K: shortlist, D1: 7, D2: 3, H: 7, Seed: "recruiting", GroupName: "toy-dl-256",
 	})
 	if err != nil {
@@ -61,7 +62,7 @@ func main() {
 	// the standalone unlinkable sort. Everyone learns only their own
 	// position; the employer sees none of the numbers.
 	expectations := []uint64{96_000, 84_500, 102_000}
-	ranks, err := groupranking.UnlinkableSort(expectations, groupranking.SortOptions{Seed: "salaries", GroupName: "toy-dl-256"})
+	sorted, err := groupranking.UnlinkableSort(context.Background(), expectations, groupranking.SortOptions{Seed: "salaries", GroupName: "toy-dl-256"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func main() {
 			shortNames = append(shortNames, name)
 		}
 	}
-	for i, r := range ranks {
+	for i, r := range sorted.Ranks {
 		fmt.Printf("  candidate %s: my expectation is the #%d highest (nobody else knows it)\n", shortNames[i], r)
 	}
 }

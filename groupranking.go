@@ -130,44 +130,19 @@ type Options struct {
 	// roughly quintuples comparison-phase traffic and catches wrong-key
 	// decryption, a step beyond the paper's honest-but-curious model.
 	ProveDecryption bool
-	// Timeout bounds the whole run; 0 means no deadline. When the
-	// deadline fires, every party aborts with a typed error instead of
-	// hanging.
-	Timeout time.Duration
-	// Faults, when non-nil, injects deterministic message faults (drops,
-	// duplicates, reorders, corruption, link severs, party crashes) into
-	// the run for robustness testing. See FaultPlan.
-	Faults *FaultPlan
-	// Observer, when non-nil, records per-party phase spans and crypto/
-	// communication counters for the run (party 0 is the initiator,
-	// parties 1..n the participants). On abort the partially filled
-	// Observer still holds every span up to the failure.
-	Observer *Observer
-	// Telemetry, when non-nil, streams runtime health metrics (transport
-	// round cadence, redials, retransmissions, heartbeat RTT, journal
-	// latency) into a registry that can be scraped live while the run is
-	// in flight. Only the distributed party entry points feed it;
-	// in-process runs have no runtime underneath to measure.
-	Telemetry *Telemetry
-	// Workers bounds the goroutines each party's crypto hot loops fan
-	// out on: 0 uses every CPU, 1 forces the serial reference path.
-	// Randomness is drawn serially regardless, so rankings, transcripts
-	// and operation counts are identical at every setting.
-	Workers int
-	// Recovery, when non-nil, enables the crash-recovery runtime for the
-	// distributed party entry points (RankInitiatorParty /
-	// RankParticipantParty): the party journals the session durably,
-	// rides out peer disconnects by reconnecting, and — restarted with
-	// the same flags and journal directory — resumes an in-flight
-	// session instead of forcing a full abort. Nil (the default) keeps
-	// the fail-fast transport; in-process runs ignore it entirely.
-	Recovery *RecoveryOptions
 	// WireCodec overrides the wire-codec version this party announces in
 	// session establishment (0 = the build's own version). It exists to
 	// TEST the cross-version refusal path — two parties announcing
 	// different codec versions abort the handshake with a named
 	// mismatch; it does not change how frames are encoded.
 	WireCodec int
+
+	// Runtime bundles the execution knobs — Timeout, Workers, Recovery,
+	// Faults, Observer, Telemetry — shared with SortOptions and the
+	// rankd service config. The fields are embedded, so they read as
+	// before: Options{Runtime: Runtime{Timeout: time.Minute}} sets what
+	// opts.Timeout reads.
+	Runtime
 }
 
 // RecoveryOptions configures the crash-recovery runtime of a
@@ -242,14 +217,11 @@ type Result struct {
 // in-process: the initiator holds the criterion, each participant one
 // profile. It returns every participant's rank and the initiator's view
 // of the top-k submissions.
-func Rank(q *Questionnaire, criterion Criterion, profiles []Profile, opts Options) (*Result, error) {
-	return RankCtx(context.Background(), q, criterion, profiles, opts)
-}
-
-// RankCtx is Rank under caller-supplied cancellation: the run aborts
-// cleanly when ctx is done. Options.Timeout, when set, composes with
-// ctx — whichever deadline expires first wins.
-func RankCtx(ctx context.Context, q *Questionnaire, criterion Criterion, profiles []Profile, opts Options) (*Result, error) {
+//
+// The run aborts cleanly when ctx is done; callers with no cancellation
+// needs pass context.Background(). Options.Timeout, when set, composes
+// with ctx — whichever deadline expires first wins.
+func Rank(ctx context.Context, q *Questionnaire, criterion Criterion, profiles []Profile, opts Options) (*Result, error) {
 	o, err := opts.withDefaults(len(profiles))
 	if err != nil {
 		return nil, err
@@ -293,6 +265,13 @@ func RankCtx(ctx context.Context, q *Questionnaire, criterion Criterion, profile
 		BytesOnWire: stats.TotalBytes(),
 		Rounds:      stats.DistinctRounds,
 	}, nil
+}
+
+// RankCtx is a thin wrapper kept for callers of the old split API.
+//
+// Deprecated: Rank is context-first now; call Rank directly.
+func RankCtx(ctx context.Context, q *Questionnaire, criterion Criterion, profiles []Profile, opts Options) (*Result, error) {
+	return Rank(ctx, q, criterion, profiles, opts)
 }
 
 // ExpectedRanks computes the ground-truth ranking from plaintext gains.

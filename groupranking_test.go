@@ -1,6 +1,7 @@
 package groupranking
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -46,7 +47,7 @@ func demoData(t *testing.T) (Criterion, []Profile) {
 func TestRankMatchesPlaintextOrder(t *testing.T) {
 	q := demoQuestionnaire(t)
 	crit, profiles := demoData(t)
-	res, err := Rank(q, crit, profiles, fastOpts("api-basic"))
+	res, err := Rank(context.Background(), q, crit, profiles, fastOpts("api-basic"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRankSecretSharingBackend(t *testing.T) {
 	profiles = profiles[:3]
 	opts := fastOpts("api-ss")
 	opts.Sorter = SecretSharing
-	res, err := Rank(q, crit, profiles, opts)
+	res, err := Rank(context.Background(), q, crit, profiles, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,11 +109,11 @@ func TestRankSecretSharingBackend(t *testing.T) {
 func TestRankDeterministicWithSeed(t *testing.T) {
 	q := demoQuestionnaire(t)
 	crit, profiles := demoData(t)
-	a, err := Rank(q, crit, profiles, fastOpts("det"))
+	a, err := Rank(context.Background(), q, crit, profiles, fastOpts("det"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Rank(q, crit, profiles, fastOpts("det"))
+	b, err := Rank(context.Background(), q, crit, profiles, fastOpts("det"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,64 +145,64 @@ func TestRankUnknownGroup(t *testing.T) {
 	crit, profiles := demoData(t)
 	opts := fastOpts("bad-group")
 	opts.GroupName = "nope"
-	if _, err := Rank(q, crit, profiles, opts); err == nil {
+	if _, err := Rank(context.Background(), q, crit, profiles, opts); err == nil {
 		t.Error("unknown group accepted")
 	}
 }
 
 func TestUnlinkableSortRanks(t *testing.T) {
-	ranks, err := UnlinkableSort([]uint64{50, 10, 90, 30}, SortOptions{Seed: "sort-basic"})
+	res, err := UnlinkableSort(context.Background(), []uint64{50, 10, 90, 30}, SortOptions{Seed: "sort-basic"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := []int{2, 4, 1, 3}
 	for i := range want {
-		if ranks[i] != want[i] {
-			t.Errorf("ranks = %v, want %v", ranks, want)
+		if res.Ranks[i] != want[i] {
+			t.Errorf("ranks = %v, want %v", res.Ranks, want)
 		}
 	}
 }
 
 func TestUnlinkableSortTiesAndBits(t *testing.T) {
-	ranks, err := UnlinkableSort([]uint64{7, 7, 3}, SortOptions{Seed: "sort-ties", Bits: 4})
+	res, err := UnlinkableSort(context.Background(), []uint64{7, 7, 3}, SortOptions{Seed: "sort-ties", Bits: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ranks[0] != 1 || ranks[1] != 1 || ranks[2] != 3 {
-		t.Errorf("ranks = %v, want [1 1 3]", ranks)
+	if res.Ranks[0] != 1 || res.Ranks[1] != 1 || res.Ranks[2] != 3 {
+		t.Errorf("ranks = %v, want [1 1 3]", res.Ranks)
 	}
 }
 
 func TestUnlinkableSortZeroValues(t *testing.T) {
-	ranks, err := UnlinkableSort([]uint64{0, 0}, SortOptions{Seed: "sort-zeros"})
+	res, err := UnlinkableSort(context.Background(), []uint64{0, 0}, SortOptions{Seed: "sort-zeros"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ranks[0] != 1 || ranks[1] != 1 {
-		t.Errorf("ranks = %v, want [1 1]", ranks)
+	if res.Ranks[0] != 1 || res.Ranks[1] != 1 {
+		t.Errorf("ranks = %v, want [1 1]", res.Ranks)
 	}
 }
 
 func TestUnlinkableSortValidation(t *testing.T) {
-	if _, err := UnlinkableSort([]uint64{1}, SortOptions{}); err == nil {
+	if _, err := UnlinkableSort(context.Background(), []uint64{1}, SortOptions{}); err == nil {
 		t.Error("single value accepted")
 	}
-	if _, err := UnlinkableSort([]uint64{1, 2}, SortOptions{GroupName: "nope"}); err == nil {
+	if _, err := UnlinkableSort(context.Background(), []uint64{1, 2}, SortOptions{GroupName: "nope"}); err == nil {
 		t.Error("unknown group accepted")
 	}
 }
 
 func TestUnlinkableSortPermutationProperty(t *testing.T) {
 	values := []uint64{11, 44, 22, 99, 55}
-	ranks, err := UnlinkableSort(values, SortOptions{Seed: "sort-perm"})
+	res, err := UnlinkableSort(context.Background(), values, SortOptions{Seed: "sort-perm"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sorted := append([]int(nil), ranks...)
+	sorted := append([]int(nil), res.Ranks...)
 	sort.Ints(sorted)
 	for i, r := range sorted {
 		if r != i+1 {
-			t.Fatalf("ranks %v are not a permutation of 1..n", ranks)
+			t.Fatalf("ranks %v are not a permutation of 1..n", res.Ranks)
 		}
 	}
 }
@@ -220,7 +221,7 @@ func TestUnlinkableSortPartyOverTCP(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ranks[me], errs[me] = UnlinkableSortParty(addrs, me, values[me], SortOptions{
+			ranks[me], errs[me] = UnlinkableSortParty(context.Background(), addrs, me, values[me], SortOptions{
 				Bits: 8, Seed: "tcp-public", GroupName: "toy-dl-256",
 			})
 		}()
@@ -240,7 +241,7 @@ func TestUnlinkableSortPartyOverTCP(t *testing.T) {
 }
 
 func TestUnlinkableSortPartyRequiresBits(t *testing.T) {
-	if _, err := UnlinkableSortParty([]string{"a", "b"}, 0, 1, SortOptions{}); err == nil {
+	if _, err := UnlinkableSortParty(context.Background(), []string{"a", "b"}, 0, 1, SortOptions{}); err == nil {
 		t.Error("missing Bits accepted")
 	}
 }
@@ -251,13 +252,13 @@ func TestRankWithProveDecryption(t *testing.T) {
 	opts := fastOpts("api-pd")
 	opts.GroupName = "toy-dl-256"
 	opts.ProveDecryption = true
-	res, err := Rank(q, crit, profiles, opts)
+	res, err := Rank(context.Background(), q, crit, profiles, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	plain := fastOpts("api-pd")
 	plain.GroupName = "toy-dl-256"
-	resPlain, err := Rank(q, crit, profiles, plain)
+	resPlain, err := Rank(context.Background(), q, crit, profiles, plain)
 	if err != nil {
 		t.Fatal(err)
 	}

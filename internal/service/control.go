@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"groupranking/internal/api"
+	"groupranking/internal/transport"
+)
+
+// The daemon control plane rides the session mux's control lane (one
+// frame kind on the same multiplexed connections the sessions use, so
+// no extra sockets): the initiator daemon announces a new session to
+// every participant daemon with ctlOpen, each answers with its
+// admission verdict in ctlOpenAck, and whichever daemon aborts a
+// session first fans the cause out with ctlAbort so its peers cancel
+// their runners instead of waiting out the session budget.
+//
+// The announced spec is scrubbed: the client's criterion is the
+// initiator's private input and never crosses the mesh. The seed does
+// travel — like the CLI party runners, a deterministic session needs
+// every daemon deriving from the same seed.
+
+// ctlOpen announces a session to a participant daemon.
+type ctlOpen struct {
+	ID   string
+	Spec api.SessionSpec // Criterion scrubbed
+}
+
+// ctlOpenAck is a participant daemon's admission verdict.
+type ctlOpenAck struct {
+	ID     string
+	OK     bool
+	Reason string
+}
+
+// ctlAbort tells peers a session is dead and why.
+type ctlAbort struct {
+	ID     string
+	Reason string
+}
+
+// The control payloads cross the wire through the codec's gob
+// fallback, which encodes them behind an `any` slot — gob needs the
+// concrete types registered.
+func init() {
+	gob.Register(ctlOpen{})
+	gob.Register(ctlOpenAck{})
+	gob.Register(ctlAbort{})
+}
+
+// controlLoop dispatches incoming control frames until shutdown.
+func (d *Daemon) controlLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-d.mux.Done():
+			return
+		case msg := <-d.mux.Control():
+			switch p := msg.Payload.(type) {
+			case ctlOpen:
+				d.onOpen(msg.From, p)
+			case ctlOpenAck:
+				d.onOpenAck(p)
+			case ctlAbort:
+				d.onAbort(p)
+			}
+		}
+	}
+}
+
+// onOpen handles a session announcement at a participant daemon:
+// validate the spec, admit under the cap, register the pending session
+// and return the verdict to the initiator daemon.
+func (d *Daemon) onOpen(from int, open ctlOpen) {
+	ack := ctlOpenAck{ID: open.ID, OK: true}
+	if err := d.admitAnnounced(open); err != nil {
+		ack.OK = false
+		ack.Reason = err.Error()
+	}
+	// Best effort: if the link back to the initiator died the sessions
+	// on it are already failing with a typed peer-down abort.
+	if err := d.mux.SendControl(from, ack); err != nil && ack.OK {
+		if s := d.lookup(open.ID); s != nil {
+			d.terminate(s, fmt.Errorf("service: acking session open to daemon %d: %w", from, err))
+		}
+	}
+}
+
+// admitAnnounced validates and registers an announced session.
+func (d *Daemon) admitAnnounced(open ctlOpen) error {
+	if d.cfg.Me == 0 {
+		return fmt.Errorf("service: the initiator daemon does not take session announcements")
+	}
+	if open.ID == "" {
+		return fmt.Errorf("service: empty session id")
+	}
+	params, q, timeout, err := d.resolveSpec(open.Spec)
+	if err != nil {
+		return err
+	}
+	s := &session{
+		id:      open.ID,
+		spec:    open.Spec,
+		params:  params,
+		q:       q,
+		timeout: timeout,
+		created: time.Now(),
+		state:   api.StatePending,
+	}
+	return d.register(s)
+}
+
+// onOpenAck routes a participant's verdict to the creation flow
+// waiting on it.
+func (d *Daemon) onOpenAck(ack ctlOpenAck) {
+	d.mu.Lock()
+	ch := d.acks[ack.ID]
+	d.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- ack:
+		default: // creation flow gave up; verdict is moot
+		}
+	}
+}
+
+// onAbort cancels the local half of a session a peer daemon declared
+// dead.
+func (d *Daemon) onAbort(ab ctlAbort) {
+	if s := d.lookup(ab.ID); s != nil {
+		d.terminate(s, fmt.Errorf("service: peer abort: %s", ab.Reason))
+	}
+}
+
+// broadcastAbort fans a session's death out to every peer daemon.
+// Best effort: a dead link means the peer is already aborting on its
+// own timeout or peer-down signal.
+func (d *Daemon) broadcastAbort(id string, cause error) {
+	ab := ctlAbort{ID: id, Reason: cause.Error()}
+	for peer := 0; peer < len(d.cfg.Addrs); peer++ {
+		if peer == d.cfg.Me {
+			continue
+		}
+		_ = d.mux.SendControl(peer, ab)
+	}
+}
+
+// announceSession runs the initiator daemon's creation fan-out: every
+// participant daemon gets the scrubbed spec and must ack admission
+// before the session is considered open mesh-wide. A single nack,
+// a dead peer or an ack timeout kills the creation; peers that already
+// admitted are told to drop it.
+func (d *Daemon) announceSession(ctx context.Context, s *session) error {
+	scrubbed := s.spec
+	scrubbed.Criterion = api.Criterion{}
+	peers := len(d.cfg.Addrs) - 1
+	ackCh := make(chan ctlOpenAck, peers)
+	d.mu.Lock()
+	d.acks[s.id] = ackCh
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.acks, s.id)
+		d.mu.Unlock()
+	}()
+	fail := func(err error) error {
+		d.broadcastAbort(s.id, err)
+		return err
+	}
+	for peer := 1; peer < len(d.cfg.Addrs); peer++ {
+		if err := d.mux.SendControl(peer, ctlOpen{ID: s.id, Spec: scrubbed}); err != nil {
+			return fail(fmt.Errorf("service: announcing session to daemon %d: %w", peer, err))
+		}
+	}
+	deadline := time.NewTimer(s.timeout)
+	defer deadline.Stop()
+	for got := 0; got < peers; got++ {
+		select {
+		case ack := <-ackCh:
+			if !ack.OK {
+				return fail(fmt.Errorf("service: peer daemon rejected the session: %s", ack.Reason))
+			}
+		case <-deadline.C:
+			return fail(fmt.Errorf("service: %w: session announcement unacked after %v", transport.ErrTimeout, s.timeout))
+		case <-ctx.Done():
+			return fail(ctx.Err())
+		case <-d.ctx.Done():
+			return fail(fmt.Errorf("service: %w: daemon shutting down", transport.ErrClosed))
+		}
+	}
+	return nil
+}

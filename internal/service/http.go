@@ -1,0 +1,211 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"groupranking/internal/api"
+	"groupranking/internal/workload"
+)
+
+// The submit/poll HTTP API (contract in internal/api). Every daemon
+// serves the same routes; role-specific endpoints answer
+// api.CodeWrongRole at the wrong daemon so a misdirected client learns
+// where to go instead of timing out.
+
+// maxBodyBytes bounds request bodies; specs and profiles are tiny.
+const maxBodyBytes = 1 << 20
+
+// routes builds the daemon's ServeMux.
+func (d *Daemon) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.PathSessions, d.handleCreate)
+	mux.HandleFunc("GET "+api.PathSessions, d.handleList)
+	mux.HandleFunc("GET "+api.PathSessions+"/{id}", d.handleInfo)
+	mux.HandleFunc("POST "+api.PathSessions+"/{id}/submit", d.handleSubmit)
+	mux.HandleFunc("GET "+api.PathSessions+"/{id}/result", d.handleResult)
+	return mux
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes the typed JSON error body.
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, api.Error{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// handleCreate is POST /v1/sessions at the initiator daemon: validate
+// the spec, admit locally, fan the (criterion-scrubbed) announcement
+// out to every participant daemon, and start the initiator runner once
+// all of them acked admission.
+func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if d.cfg.Me != 0 {
+		writeErr(w, http.StatusMisdirectedRequest, api.CodeWrongRole,
+			"sessions are created at the initiator daemon (mesh slot 0); this is daemon %d", d.cfg.Me)
+		return
+	}
+	var spec api.SessionSpec
+	if err := decodeBody(w, r, &spec); err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "decoding session spec: %v", err)
+		return
+	}
+	params, q, timeout, err := d.resolveSpec(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+		return
+	}
+	if len(spec.Criterion.Values) != q.M() || len(spec.Criterion.Weights) != q.M() {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest,
+			"criterion needs %d values and %d weights, got %d and %d",
+			q.M(), q.M(), len(spec.Criterion.Values), len(spec.Criterion.Weights))
+		return
+	}
+	id, err := newSessionID()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, api.CodeBadRequest, "%v", err)
+		return
+	}
+	s := &session{
+		id:        id,
+		spec:      spec,
+		params:    params,
+		q:         q,
+		timeout:   timeout,
+		created:   time.Now(),
+		state:     api.StatePending,
+		criterion: workload.Criterion{Values: spec.Criterion.Values, Weights: spec.Criterion.Weights},
+	}
+	if err := d.register(s); err != nil {
+		writeErr(w, http.StatusTooManyRequests, api.CodeAdmissionFull, "%v", err)
+		return
+	}
+	if err := d.announceSession(r.Context(), s); err != nil {
+		d.terminate(s, err)
+		writeErr(w, http.StatusBadGateway, api.CodePeerRejected, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	if api.Terminal(s.state) {
+		state := s.state
+		reason := s.abortReason
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, api.CodeConflict, "session %s already %s: %s", id, state, reason)
+		return
+	}
+	s.started = true
+	s.state = api.StateEstablishing
+	s.mu.Unlock()
+	d.spawn(s)
+	writeJSON(w, http.StatusCreated, s.info(len(d.cfg.Addrs)))
+}
+
+// handleSubmit is POST /v1/sessions/{id}/submit at a participant
+// daemon: store this participant's private profile and start its
+// runner. A profile never crosses the mesh — it enters the protocol
+// only through this daemon's own role execution.
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if d.cfg.Me == 0 {
+		writeErr(w, http.StatusMisdirectedRequest, api.CodeWrongRole,
+			"the initiator daemon takes no profile submissions; submit to participant daemon %s's own endpoint", r.PathValue("id"))
+		return
+	}
+	s := d.lookup(r.PathValue("id"))
+	if s == nil {
+		writeErr(w, http.StatusNotFound, api.CodeNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	var req api.SubmitRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "decoding submission: %v", err)
+		return
+	}
+	if len(req.Values) != s.q.M() {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest,
+			"profile needs %d values, got %d", s.q.M(), len(req.Values))
+		return
+	}
+	s.mu.Lock()
+	if api.Terminal(s.state) {
+		state, reason := s.state, s.abortReason
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, api.CodeConflict, "session %s already %s: %s", s.id, state, reason)
+		return
+	}
+	if s.started {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, api.CodeConflict, "session %s already has this participant's profile", s.id)
+		return
+	}
+	s.profile = workload.Profile{Values: req.Values}
+	s.started = true
+	s.state = api.StateEstablishing
+	s.mu.Unlock()
+	d.spawn(s)
+	writeJSON(w, http.StatusAccepted, s.info(len(d.cfg.Addrs)))
+}
+
+// handleResult is GET /v1/sessions/{id}/result: the poll half of the
+// submit/poll contract. Non-terminal sessions answer with just the
+// state; terminal ones with the full outcome until the TTL purges
+// them.
+func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
+	s := d.lookup(r.PathValue("id"))
+	if s == nil {
+		writeErr(w, http.StatusNotFound, api.CodeNotFound,
+			"unknown session %q (finished sessions are purged after %v)", r.PathValue("id"), d.cfg.ResultTTL)
+		return
+	}
+	s.mu.Lock()
+	res := api.ResultResponse{ID: s.id, State: s.state}
+	if s.result != nil {
+		res = *s.result
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, &res)
+}
+
+// handleInfo is GET /v1/sessions/{id}.
+func (d *Daemon) handleInfo(w http.ResponseWriter, r *http.Request) {
+	s := d.lookup(r.PathValue("id"))
+	if s == nil {
+		writeErr(w, http.StatusNotFound, api.CodeNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(len(d.cfg.Addrs)))
+}
+
+// handleList is GET /v1/sessions: every hosted session, oldest first.
+func (d *Daemon) handleList(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	all := make([]*session, 0, len(d.sessions))
+	for _, s := range d.sessions {
+		all = append(all, s)
+	}
+	d.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].created.Equal(all[j].created) {
+			return all[i].created.Before(all[j].created)
+		}
+		return all[i].id < all[j].id
+	})
+	infos := make([]api.SessionInfo, len(all))
+	for i, s := range all {
+		infos[i] = s.info(len(d.cfg.Addrs))
+	}
+	writeJSON(w, http.StatusOK, infos)
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"io"
+	"time"
+
+	"groupranking/internal/api"
+	"groupranking/internal/core"
+	"groupranking/internal/fixedbig"
+	"groupranking/internal/obsv"
+	"groupranking/internal/transport"
+)
+
+// The per-session runner: one goroutine per hosted session executing
+// this daemon's role with the existing core machinery over a mux'd
+// session net. Everything here mirrors the single-session CLI party
+// harness (runRankParty) — same seed derivation, same handshake, same
+// role entry points — so a seeded service session reproduces the
+// in-process groupranking.Rank run byte for byte.
+
+// spawn launches the session runner; the caller has already marked the
+// session started (and stored its role input) under the session lock.
+func (d *Daemon) spawn(s *session) {
+	d.wg.Add(1)
+	go d.runSession(s)
+}
+
+// sessionRNG picks the session's randomness source for this daemon's
+// role, exactly as the CLI party runners do: the in-process harness's
+// derivation when the spec pins a seed, crypto/rand otherwise.
+func (d *Daemon) sessionRNG(seed string) io.Reader {
+	if seed == "" {
+		return rand.Reader
+	}
+	if d.cfg.Me == 0 {
+		return fixedbig.NewDRBG(core.InitiatorSeed(seed))
+	}
+	return fixedbig.NewDRBG(core.ParticipantSeed(seed, d.cfg.Me))
+}
+
+// runSession executes one session end to end and records its terminal
+// state.
+func (d *Daemon) runSession(s *session) {
+	defer d.wg.Done()
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(d.ctx, s.timeout)
+	defer cancel()
+	s.mu.Lock()
+	s.cancel = cancel
+	s.mu.Unlock()
+
+	snet, err := d.mux.Open(s.id, s.timeout)
+	if err != nil {
+		d.finish(s, nil, err, start)
+		return
+	}
+	defer snet.Close()
+	var net transport.Net = snet
+	if d.FaultPlanner != nil {
+		if plan := d.FaultPlanner(s.id, s.spec); plan != nil {
+			net = transport.NewFaultNet(net, *plan)
+		}
+	}
+	if obs := d.cfg.Observer; obs != nil {
+		ctx = obsv.WithRegistry(ctx, obs)
+		ctx = obsv.WithParty(ctx, obs.Party(d.cfg.Me))
+	}
+	traceID, err := core.EstablishSessionCtx(ctx, s.params, d.cfg.Me, net, core.DeriveTraceID(s.spec.Seed))
+	if err != nil {
+		d.finish(s, nil, err, start)
+		return
+	}
+	s.mu.Lock()
+	if !api.Terminal(s.state) {
+		s.state = api.StateRunning
+	}
+	s.mu.Unlock()
+
+	res := &api.ResultResponse{ID: s.id, TraceID: traceID}
+	rng := d.sessionRNG(s.spec.Seed)
+	if d.cfg.Me == 0 {
+		subs, flagged, rerr := core.RunInitiatorCtx(ctx, s.params, s.q, s.criterion, net, rng)
+		err = rerr
+		if err == nil {
+			res.Suspicious = flagged
+			res.Submissions = make([]api.Submission, len(subs))
+			for i, sub := range subs {
+				res.Submissions[i] = api.Submission{
+					Participant: sub.Participant,
+					ClaimedRank: sub.ClaimedRank,
+					Values:      sub.Profile.Values,
+					Gain:        sub.Gain.String(),
+				}
+			}
+		}
+	} else {
+		out, rerr := core.RunParticipantCtx(ctx, s.params, d.cfg.Me, s.q, s.profile, net, rng)
+		err = rerr
+		if err == nil {
+			res.Rank = out.Rank
+		}
+	}
+	if err != nil {
+		d.finish(s, nil, transport.EnsureAbort(err, -1, "framework"), start)
+		return
+	}
+	stats := snet.Stats()
+	res.BytesOnWire = stats.TotalBytes()
+	res.Rounds = stats.DistinctRounds
+	d.finish(s, res, nil, start)
+}
+
+// finish records a session's terminal state exactly once, fans an
+// abort out to the peer daemons when this daemon failed first, and
+// updates the outcome metrics.
+func (d *Daemon) finish(s *session, res *api.ResultResponse, err error, start time.Time) {
+	elapsed := time.Since(start).Milliseconds()
+	s.mu.Lock()
+	if api.Terminal(s.state) {
+		s.mu.Unlock()
+		return
+	}
+	if err == nil {
+		s.state = api.StateDone
+		res.State = api.StateDone
+		res.ElapsedMS = elapsed
+		s.result = res
+	} else {
+		s.state = api.StateAborted
+		reason := err.Error()
+		// A runner cancelled by a peer abort (or the janitor) dies with
+		// a bare context error; the stored reason says why.
+		if s.abortReason != "" && errors.Is(err, context.Canceled) {
+			reason = s.abortReason
+		}
+		s.result = &api.ResultResponse{ID: s.id, State: api.StateAborted, Error: reason, ElapsedMS: elapsed}
+	}
+	s.doneAt = time.Now()
+	broadcast := err != nil && s.abortReason == "" && d.ctx.Err() == nil
+	s.mu.Unlock()
+	if broadcast {
+		d.broadcastAbort(s.id, err)
+	}
+	d.sessionEnded(err == nil)
+}

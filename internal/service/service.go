@@ -1,0 +1,454 @@
+// Package service implements rankd, the long-running ranking
+// coordinator daemon: one process per mesh slot (daemon 0 plays the
+// initiator, daemon j the j-th participant) hosting many concurrent
+// ranking sessions over a single multiplexed connection per peer pair
+// (transport.SessionMux). Clients drive it through the submit/poll
+// HTTP API defined in internal/api; the per-session protocol execution
+// is exactly the existing core machinery — a seeded service session is
+// byte-identical to the in-process groupranking.Rank run with the same
+// seed.
+//
+// Lifecycle: a session is created pending at every daemon (the
+// initiator's POST /v1/sessions fans a control-plane open out to the
+// participant daemons and waits for their admission acks), moves to
+// establishing once the daemon's runner joins the pre-crypto session
+// handshake — immediately for the initiator, on profile submission for
+// a participant — to running when the handshake agrees, and ends done
+// or aborted. Finished sessions are retained for Config.ResultTTL so
+// clients can poll the outcome, then purged by the janitor.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"groupranking"
+	"groupranking/internal/api"
+	"groupranking/internal/core"
+	"groupranking/internal/group"
+	"groupranking/internal/telemetry"
+	"groupranking/internal/transport"
+	"groupranking/internal/workload"
+)
+
+// Config tunes one rankd daemon. The zero value of every knob takes a
+// sensible default; Addrs and Me are required.
+type Config struct {
+	// Addrs is the daemon mesh: addrs[0] is the initiator daemon,
+	// addrs[j] participant daemon j, each listening on its own slot.
+	// Every daemon of a deployment must agree on the list.
+	Addrs []string
+	// Me is this daemon's slot in Addrs.
+	Me int
+	// MaxSessions is the admission cap: the most sessions this daemon
+	// will host concurrently in a non-terminal state (default 64).
+	// Creations and control-plane opens beyond it are rejected with
+	// api.CodeAdmissionFull — the client retries or backs off.
+	MaxSessions int
+	// ResultTTL is how long a finished session's result stays pollable
+	// before the janitor purges it (default 5 minutes).
+	ResultTTL time.Duration
+	// QueueCap is the per-session memory budget, in frames per peer
+	// link, enforced by the session mux: a session whose receive queue
+	// overflows is aborted alone, its siblings and the shared links
+	// untouched (default transport's 1024).
+	QueueCap int
+
+	// Runtime is the shared execution-knob block, embedded verbatim
+	// from the public API: Timeout is the default (and ceiling) for
+	// each session's budget — a SessionSpec.TimeoutMS may shrink it,
+	// never exceed it (default 2 minutes); Workers bounds each
+	// session's crypto parallelism; Telemetry collects the mux link and
+	// service session metrics; Observer collects per-phase spans across
+	// sessions. Recovery and Faults are ignored — journaled crash
+	// recovery is a single-session deployment feature, and fault
+	// injection enters the daemon only through the FaultPlanner test
+	// hook.
+	groupranking.Runtime
+}
+
+// defaultSessionTimeout mirrors the CLI party runners' default budget.
+const defaultSessionTimeout = 2 * time.Minute
+
+// withDefaults resolves the config and validates it.
+func (c Config) withDefaults() (Config, error) {
+	if c.Me < 0 || c.Me >= len(c.Addrs) {
+		return c, fmt.Errorf("service: me=%d outside the %d-address mesh", c.Me, len(c.Addrs))
+	}
+	if len(c.Addrs) < 3 {
+		return c, fmt.Errorf("service: need the initiator plus at least two participant daemons, got %d addresses", len(c.Addrs))
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxSessions < 0 {
+		return c, fmt.Errorf("service: MaxSessions=%d negative", c.MaxSessions)
+	}
+	if c.ResultTTL == 0 {
+		c.ResultTTL = 5 * time.Minute
+	}
+	if c.ResultTTL < 0 {
+		return c, fmt.Errorf("service: ResultTTL=%v negative", c.ResultTTL)
+	}
+	if c.Timeout == 0 {
+		c.Timeout = defaultSessionTimeout
+	}
+	if c.Timeout < 0 {
+		return c, fmt.Errorf("service: Timeout=%v negative", c.Timeout)
+	}
+	return c, nil
+}
+
+// Daemon is one rankd process's state: the shared session mux, the
+// session table, and the control-plane plumbing. Create with NewDaemon,
+// serve Handler() over HTTP, Close() to shut down.
+type Daemon struct {
+	cfg Config
+	mux *transport.SessionMux
+
+	// FaultPlanner, when set before any session is created, lets tests
+	// inject a per-session fault plan: it is consulted once per session
+	// with its ID and spec, and the returned plan (nil for none) wraps
+	// that session's net in a FaultNet. Production daemons leave it
+	// nil.
+	FaultPlanner func(sessionID string, spec api.SessionSpec) *transport.FaultPlan
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	acks     map[string]chan ctlOpenAck
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	met serviceMetrics
+}
+
+// session is one ranking session's slot in the daemon table.
+type session struct {
+	id      string
+	spec    api.SessionSpec
+	params  core.Params
+	q       *workload.Questionnaire
+	timeout time.Duration
+	created time.Time
+
+	// Role inputs: criterion at daemon 0, profile at daemon j (set on
+	// submit).
+	criterion workload.Criterion
+	profile   workload.Profile
+
+	mu          sync.Mutex
+	state       string
+	started     bool // runner spawned (participant: profile consumed)
+	cancel      context.CancelFunc
+	abortReason string
+	result      *api.ResultResponse
+	doneAt      time.Time
+}
+
+// serviceMetrics is the daemon's slice of the telemetry registry. All
+// fields are nil (and every operation a no-op) with telemetry disabled.
+type serviceMetrics struct {
+	created  *telemetry.Counter
+	done     *telemetry.Counter
+	aborted  *telemetry.Counter
+	rejected *telemetry.Counter
+	live     *telemetry.Gauge
+	liveN    int64 // guarded by Daemon.mu
+}
+
+func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
+	return serviceMetrics{
+		created:  reg.Counter("service_sessions_created_total", "Sessions admitted by this daemon."),
+		done:     reg.Counter("service_sessions_done_total", "Sessions that completed successfully."),
+		aborted:  reg.Counter("service_sessions_aborted_total", "Sessions that ended in an abort."),
+		rejected: reg.Counter("service_admission_rejects_total", "Session creations refused by the admission cap."),
+		live:     reg.Gauge("service_sessions_live", "Sessions currently in a non-terminal state."),
+	}
+}
+
+// NewDaemon joins the daemon mesh (blocking until every peer daemon is
+// up, exactly like the party runners' mesh formation) and starts the
+// control-plane and janitor loops. The caller serves Handler() and
+// must Close() the daemon to release the mesh.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	core.RegisterWire()
+	mux, err := transport.NewSessionMux(cfg.Addrs, cfg.Me, cfg.Timeout, transport.MuxOptions{
+		Telemetry: cfg.Telemetry,
+		QueueCap:  cfg.QueueCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		cfg:      cfg,
+		mux:      mux,
+		sessions: make(map[string]*session),
+		acks:     make(map[string]chan ctlOpenAck),
+		ctx:      ctx,
+		cancel:   cancel,
+		met:      newServiceMetrics(cfg.Telemetry),
+	}
+	cfg.Telemetry.SetHealthSource(mux)
+	d.wg.Add(2)
+	go d.controlLoop()
+	go d.janitor()
+	return d, nil
+}
+
+// Me returns this daemon's mesh slot (0 = initiator daemon).
+func (d *Daemon) Me() int { return d.cfg.Me }
+
+// Parties returns the mesh size (initiator + participants).
+func (d *Daemon) Parties() int { return len(d.cfg.Addrs) }
+
+// Close shuts the daemon down: every in-flight session aborts, the
+// mesh connections close, and all daemon goroutines exit before Close
+// returns.
+func (d *Daemon) Close() {
+	d.closeOnce.Do(func() {
+		d.cancel()
+		d.mux.Close()
+		d.wg.Wait()
+	})
+}
+
+// Handler returns the daemon's HTTP API (see internal/api for the
+// contract); the caller owns the listener.
+func (d *Daemon) Handler() http.Handler { return d.routes() }
+
+// newSessionID draws a fresh 64-bit random session identifier.
+func newSessionID() (string, error) {
+	var raw [8]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("service: drawing session id: %w", err)
+	}
+	return hex.EncodeToString(raw[:]), nil
+}
+
+// resolveSpec validates a session spec against this daemon's mesh and
+// resolves the defaulted protocol parameters, questionnaire and
+// timeout budget every daemon of the session must agree on.
+func (d *Daemon) resolveSpec(spec api.SessionSpec) (core.Params, *workload.Questionnaire, time.Duration, error) {
+	fail := func(err error) (core.Params, *workload.Questionnaire, time.Duration, error) {
+		return core.Params{}, nil, 0, err
+	}
+	attrs := make([]workload.Attribute, len(spec.Attributes))
+	for i, a := range spec.Attributes {
+		switch a.Kind {
+		case api.KindEqualTo:
+			attrs[i] = workload.Attribute{Name: a.Name, Kind: workload.EqualTo}
+		case api.KindGreaterThan:
+			attrs[i] = workload.Attribute{Name: a.Name, Kind: workload.GreaterThan}
+		default:
+			return fail(fmt.Errorf("service: attribute %q has unknown kind %q (want %q or %q)", a.Name, a.Kind, api.KindEqualTo, api.KindGreaterThan))
+		}
+	}
+	q, err := workload.NewQuestionnaire(attrs)
+	if err != nil {
+		return fail(err)
+	}
+	n := len(d.cfg.Addrs) - 1 // participants
+	o := spec
+	if o.K == 0 {
+		o.K = 3
+	}
+	if o.K > n {
+		o.K = n
+	}
+	if o.D1 == 0 {
+		o.D1 = 15
+	}
+	if o.D2 == 0 {
+		o.D2 = 10
+	}
+	if o.H == 0 {
+		o.H = 15
+	}
+	if o.GroupName == "" {
+		o.GroupName = "secp160r1"
+	}
+	g, err := group.ByName(o.GroupName)
+	if err != nil {
+		return fail(err)
+	}
+	var sorter core.Sorter
+	switch o.Sorter {
+	case "", api.SorterUnlinkable:
+		sorter = core.SorterUnlinkable
+	case api.SorterSecretSharing:
+		sorter = core.SorterSecretSharing
+	default:
+		return fail(fmt.Errorf("service: unknown sorter %q (want %q or %q)", o.Sorter, api.SorterUnlinkable, api.SorterSecretSharing))
+	}
+	params := core.Params{
+		N: n, M: q.M(), T: q.T(),
+		D1: o.D1, D2: o.D2, H: o.H, K: o.K,
+		Group: g, Sorter: sorter, SkipProofs: o.SkipProofs,
+		ProveDecryption: o.ProveDecryption, Workers: d.cfg.Workers,
+	}
+	if err := params.Validate(); err != nil {
+		return fail(err)
+	}
+	// The daemon's configured budget is a hard ceiling: a spec may
+	// shrink its session's budget, never extend it.
+	timeout := d.cfg.Timeout
+	if spec.TimeoutMS < 0 {
+		return fail(fmt.Errorf("service: timeout_ms=%d negative", spec.TimeoutMS))
+	}
+	if t := time.Duration(spec.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	return params, q, timeout, nil
+}
+
+// register admits a new session under the cap, or reports the reason
+// it cannot.
+func (d *Daemon) register(s *session) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	live := 0
+	for _, other := range d.sessions {
+		if !api.Terminal(other.snapshotState()) {
+			live++
+		}
+	}
+	if live >= d.cfg.MaxSessions {
+		d.met.rejected.Inc()
+		return fmt.Errorf("service: daemon %d is at its %d-session admission cap", d.cfg.Me, d.cfg.MaxSessions)
+	}
+	if _, dup := d.sessions[s.id]; dup {
+		return fmt.Errorf("service: session %s already exists", s.id)
+	}
+	d.sessions[s.id] = s
+	d.met.created.Inc()
+	d.met.liveN++
+	d.met.live.Set(float64(d.met.liveN))
+	return nil
+}
+
+// lookup finds a session by ID (nil when unknown or already purged).
+func (d *Daemon) lookup(id string) *session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sessions[id]
+}
+
+// janitor is the retention loop: finished sessions past the result TTL
+// are purged, and pending sessions that never received their profile
+// within the session budget are aborted so they cannot pin the
+// admission cap forever.
+func (d *Daemon) janitor() {
+	defer d.wg.Done()
+	tick := d.cfg.ResultTTL / 4
+	if tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case now := <-t.C:
+			d.sweep(now)
+		}
+	}
+}
+
+// sweep runs one janitor pass.
+func (d *Daemon) sweep(now time.Time) {
+	d.mu.Lock()
+	var purge []string
+	var stale []*session
+	for id, s := range d.sessions {
+		s.mu.Lock()
+		terminal := api.Terminal(s.state)
+		doneAt := s.doneAt
+		pendingPastBudget := s.state == api.StatePending && !s.started && now.Sub(s.created) > s.timeout
+		s.mu.Unlock()
+		switch {
+		case terminal && now.Sub(doneAt) > d.cfg.ResultTTL:
+			purge = append(purge, id)
+		case pendingPastBudget:
+			stale = append(stale, s)
+		}
+	}
+	for _, id := range purge {
+		delete(d.sessions, id)
+	}
+	d.mu.Unlock()
+	for _, s := range stale {
+		d.terminate(s, fmt.Errorf("service: no profile submitted within the session's %v budget", s.timeout))
+	}
+}
+
+// snapshotState reads the session state under its lock.
+func (s *session) snapshotState() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// info builds the session's SessionInfo snapshot.
+func (s *session) info(parties int) api.SessionInfo {
+	return api.SessionInfo{ID: s.id, State: s.snapshotState(), Parties: parties}
+}
+
+// terminate force-aborts a session whose runner never started (or, if
+// one did, cancels it and lets the runner record the abort). Used by
+// the control-plane abort path and the janitor.
+func (d *Daemon) terminate(s *session, cause error) {
+	s.mu.Lock()
+	if api.Terminal(s.state) {
+		s.mu.Unlock()
+		return
+	}
+	if s.abortReason == "" {
+		s.abortReason = cause.Error()
+	}
+	if s.started {
+		// The runner owns the terminal transition; cancelling its
+		// context makes it record the abort with the stored reason.
+		cancel := s.cancel
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return
+	}
+	s.state = api.StateAborted
+	s.result = &api.ResultResponse{ID: s.id, State: api.StateAborted, Error: s.abortReason}
+	s.doneAt = time.Now()
+	s.mu.Unlock()
+	d.sessionEnded(false)
+}
+
+// sessionEnded updates the live gauge and outcome counters once per
+// session reaching a terminal state.
+func (d *Daemon) sessionEnded(ok bool) {
+	d.mu.Lock()
+	d.met.liveN--
+	d.met.live.Set(float64(d.met.liveN))
+	d.mu.Unlock()
+	if ok {
+		d.met.done.Inc()
+	} else {
+		d.met.aborted.Inc()
+	}
+}

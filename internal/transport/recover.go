@@ -251,6 +251,9 @@ func NewRecoveringTCPFabric(addrs []string, me int, timeout time.Duration, opts 
 	if me < 0 || me >= n {
 		return nil, fmt.Errorf("transport: party index %d out of range", me)
 	}
+	if err := validateMeshAddrs(addrs); err != nil {
+		return nil, err
+	}
 	if opts.SessionID == "" {
 		return nil, fmt.Errorf("transport: recovery mesh needs a session ID")
 	}

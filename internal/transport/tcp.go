@@ -92,6 +92,9 @@ func NewTCPFabric(addrs []string, me int, timeout time.Duration) (*TCPFabric, er
 	if me < 0 || me >= n {
 		return nil, fmt.Errorf("transport: party index %d out of range", me)
 	}
+	if err := validateMeshAddrs(addrs); err != nil {
+		return nil, err
+	}
 	f := &TCPFabric{
 		n:       n,
 		me:      me,

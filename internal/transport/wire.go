@@ -121,4 +121,42 @@ func init() {
 			}
 			return h, nil
 		})
+
+	wirecodec.Register(wirecodec.IDRangeTransport+5, "mux hello",
+		[]any{muxHello{}},
+		func(dst []byte, v any) ([]byte, error) {
+			return wirecodec.AppendI64(dst, int64(v.(muxHello).Party)), nil
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			h := muxHello{Party: r.Int()}
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("transport: mux hello: %w", err)
+			}
+			return h, nil
+		})
+
+	wirecodec.Register(wirecodec.IDRangeTransport+6, "mux envelope",
+		[]any{muxEnv{}},
+		func(dst []byte, v any) ([]byte, error) {
+			e := v.(muxEnv)
+			dst = wirecodec.AppendString(dst, e.SID)
+			dst = wirecodec.AppendU8(dst, e.Kind)
+			dst = wirecodec.AppendI64(dst, int64(e.Round))
+			dst = wirecodec.AppendI64(dst, int64(e.Bytes))
+			return wirecodec.AppendValue(dst, e.Payload)
+		},
+		func(data []byte) (any, error) {
+			r := wirecodec.NewReader(data)
+			var e muxEnv
+			e.SID = r.String()
+			e.Kind = r.U8()
+			e.Round = r.Int()
+			e.Bytes = r.Int()
+			e.Payload = r.Value()
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("transport: mux envelope: %w", err)
+			}
+			return e, nil
+		})
 }

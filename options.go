@@ -58,29 +58,8 @@ func deriveBits(bits int, values []uint64) int {
 	return bits
 }
 
-// validateRuntime rejects nonsense runtime settings at the public entry
-// point instead of letting them silently change meaning deeper in the
-// stack: a negative Timeout would otherwise be "defaulted" like zero,
-// and a negative Recovery.Grace would blame a reconnecting peer
-// instantly. The checks mirror rankparty's flag validation, so the
-// library and the CLI reject the same inputs with the same meaning.
-func (o Options) validateRuntime() error {
-	if o.Timeout < 0 {
-		return fmt.Errorf("groupranking: Timeout %v is negative (0 means the default deadline)", o.Timeout)
-	}
-	if o.Recovery != nil {
-		if o.Recovery.Grace < 0 {
-			return fmt.Errorf("groupranking: Recovery.Grace %v is negative (0 means the 15s default)", o.Recovery.Grace)
-		}
-		if o.Recovery.Heartbeat < 0 {
-			return fmt.Errorf("groupranking: Recovery.Heartbeat %v is negative (0 means the 250ms default)", o.Recovery.Heartbeat)
-		}
-	}
-	return nil
-}
-
 func (o Options) withDefaults(n int) (Options, error) {
-	if err := o.validateRuntime(); err != nil {
+	if err := o.Runtime.validate(); err != nil {
 		return o, err
 	}
 	o.GroupName = resolveGroupName(o.GroupName)
@@ -107,17 +86,12 @@ func (o Options) withDefaults(n int) (Options, error) {
 // validate checks the resolved sort options the same way Options is
 // checked by core.Params.Validate: out-of-range settings fail with a
 // descriptive error instead of propagating garbage into the protocol.
+// The runtime knobs share Runtime.validate with the framework options.
 func (o SortOptions) validate() error {
 	if o.Bits < 1 || o.Bits > 64 {
 		return fmt.Errorf("groupranking: bits=%d outside [1, 64]", o.Bits)
 	}
-	if o.Workers < 0 {
-		return fmt.Errorf("groupranking: workers=%d negative", o.Workers)
-	}
-	if o.Timeout < 0 {
-		return fmt.Errorf("groupranking: Timeout %v is negative (0 means the default deadline)", o.Timeout)
-	}
-	return nil
+	return o.Runtime.validate()
 }
 
 // withDefaults resolves GroupName/Bits/Seed for an in-process sort over

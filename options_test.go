@@ -1,6 +1,7 @@
 package groupranking
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -17,11 +18,11 @@ func TestSortOptionsValidation(t *testing.T) {
 	}{
 		{"bits too large", SortOptions{Bits: 65}, "outside [1, 64]"},
 		{"bits negative", SortOptions{Bits: -3}, "outside [1, 64]"},
-		{"negative workers", SortOptions{Bits: 8, Workers: -1}, "negative"},
+		{"negative workers", SortOptions{Bits: 8, Runtime: Runtime{Workers: -1}}, "negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := UnlinkableSort([]uint64{3, 1, 2}, tc.opts)
+			_, err := UnlinkableSort(context.Background(), []uint64{3, 1, 2}, tc.opts)
 			if err == nil {
 				t.Fatal("invalid options accepted")
 			}
@@ -52,7 +53,7 @@ func TestSortOptionsDefaults(t *testing.T) {
 }
 
 func TestSortPartyOptionsRequireBits(t *testing.T) {
-	_, err := UnlinkableSortParty([]string{"a", "b"}, 0, 1, SortOptions{})
+	_, err := UnlinkableSortParty(context.Background(), []string{"a", "b"}, 0, 1, SortOptions{})
 	if err == nil || !strings.Contains(err.Error(), "Bits") {
 		t.Fatalf("missing Bits not diagnosed: %v", err)
 	}
@@ -80,9 +81,9 @@ func TestRuntimeOptionsValidation(t *testing.T) {
 		opts Options
 		want string
 	}{
-		{"negative timeout", Options{Timeout: -time.Second}, "Timeout"},
-		{"negative grace", Options{Recovery: &RecoveryOptions{Dir: "d", Grace: -time.Second}}, "Grace"},
-		{"negative heartbeat", Options{Recovery: &RecoveryOptions{Dir: "d", Heartbeat: -time.Millisecond}}, "Heartbeat"},
+		{"negative timeout", Options{Runtime: Runtime{Timeout: -time.Second}}, "Timeout"},
+		{"negative grace", Options{Runtime: Runtime{Recovery: &RecoveryOptions{Dir: "d", Grace: -time.Second}}}, "Grace"},
+		{"negative heartbeat", Options{Runtime: Runtime{Recovery: &RecoveryOptions{Dir: "d", Heartbeat: -time.Millisecond}}}, "Heartbeat"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -97,10 +98,10 @@ func TestRuntimeOptionsValidation(t *testing.T) {
 	}
 	// The sort options reject a negative Timeout on both the in-process
 	// and the distributed resolution paths.
-	if _, err := UnlinkableSort([]uint64{3, 1, 2}, SortOptions{Timeout: -time.Second}); err == nil || !strings.Contains(err.Error(), "Timeout") {
+	if _, err := UnlinkableSort(context.Background(), []uint64{3, 1, 2}, SortOptions{Runtime: Runtime{Timeout: -time.Second}}); err == nil || !strings.Contains(err.Error(), "Timeout") {
 		t.Errorf("in-process sort accepted a negative timeout: %v", err)
 	}
-	if _, err := (SortOptions{Bits: 8, Timeout: -time.Second}).withPartyDefaults(); err == nil || !strings.Contains(err.Error(), "Timeout") {
+	if _, err := (SortOptions{Bits: 8, Runtime: Runtime{Timeout: -time.Second}}).withPartyDefaults(); err == nil || !strings.Contains(err.Error(), "Timeout") {
 		t.Errorf("party sort defaults accepted a negative timeout: %v", err)
 	}
 }

@@ -75,14 +75,11 @@ type ParticipantResult struct {
 // with the private criterion, sits out the comparison phase, and
 // collects the top-k submissions. q and the addressing must match every
 // participant's; criterion stays private to this process.
-func RankInitiatorParty(q *Questionnaire, criterion Criterion, addrs []string, opts Options) (*InitiatorResult, error) {
-	return RankInitiatorPartyCtx(context.Background(), q, criterion, addrs, opts)
-}
-
-// RankInitiatorPartyCtx is RankInitiatorParty under caller-supplied
-// cancellation; opts.Timeout (default 2 minutes) composes with ctx and
-// also bounds each blocking receive on the TCP mesh.
-func RankInitiatorPartyCtx(ctx context.Context, q *Questionnaire, criterion Criterion, addrs []string, opts Options) (*InitiatorResult, error) {
+//
+// opts.Timeout (default 2 minutes) composes with ctx — whichever
+// deadline expires first wins — and also bounds each blocking receive
+// on the TCP mesh.
+func RankInitiatorParty(ctx context.Context, q *Questionnaire, criterion Criterion, addrs []string, opts Options) (*InitiatorResult, error) {
 	params, o, err := rankPartyParams(q, addrs, opts)
 	if err != nil {
 		return nil, err
@@ -105,20 +102,26 @@ func RankInitiatorPartyCtx(ctx context.Context, q *Questionnaire, criterion Crit
 	return res2, nil
 }
 
+// RankInitiatorPartyCtx is a thin wrapper kept for callers of the old
+// split API.
+//
+// Deprecated: RankInitiatorParty is context-first now; call it
+// directly.
+func RankInitiatorPartyCtx(ctx context.Context, q *Questionnaire, criterion Criterion, addrs []string, opts Options) (*InitiatorResult, error) {
+	return RankInitiatorParty(ctx, q, criterion, addrs, opts)
+}
+
 // RankParticipantParty runs participant me's side (1 ≤ me ≤ n, with
 // n = len(addrs)−1) of the full framework over real TCP: the masked
 // dot-product gain computation with the initiator, the
 // identity-unlinkable comparison among the participants, and — when
 // ranked in the agreed top k — the profile submission. profile stays
 // private to this process; the returned rank is all this party learns.
-func RankParticipantParty(q *Questionnaire, addrs []string, me int, profile Profile, opts Options) (*ParticipantResult, error) {
-	return RankParticipantPartyCtx(context.Background(), q, addrs, me, profile, opts)
-}
-
-// RankParticipantPartyCtx is RankParticipantParty under caller-supplied
-// cancellation; opts.Timeout (default 2 minutes) composes with ctx and
-// also bounds each blocking receive on the TCP mesh.
-func RankParticipantPartyCtx(ctx context.Context, q *Questionnaire, addrs []string, me int, profile Profile, opts Options) (*ParticipantResult, error) {
+//
+// opts.Timeout (default 2 minutes) composes with ctx — whichever
+// deadline expires first wins — and also bounds each blocking receive
+// on the TCP mesh.
+func RankParticipantParty(ctx context.Context, q *Questionnaire, addrs []string, me int, profile Profile, opts Options) (*ParticipantResult, error) {
 	params, o, err := rankPartyParams(q, addrs, opts)
 	if err != nil {
 		return nil, err
@@ -140,6 +143,15 @@ func RankParticipantPartyCtx(ctx context.Context, q *Questionnaire, addrs []stri
 		return nil, err
 	}
 	return &ParticipantResult{Rank: out.Rank, BytesOnWire: res.BytesOnWire, Rounds: res.Rounds, TraceID: res.TraceID}, nil
+}
+
+// RankParticipantPartyCtx is a thin wrapper kept for callers of the old
+// split API.
+//
+// Deprecated: RankParticipantParty is context-first now; call it
+// directly.
+func RankParticipantPartyCtx(ctx context.Context, q *Questionnaire, addrs []string, me int, profile Profile, opts Options) (*ParticipantResult, error) {
+	return RankParticipantParty(ctx, q, addrs, me, profile, opts)
 }
 
 // rankPartyParams resolves the shared options into the framework

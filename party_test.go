@@ -1,6 +1,7 @@
 package groupranking
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -29,14 +30,14 @@ func runDistributed(t *testing.T, crit Criterion, profiles []Profile, opts Optio
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		initRes, initErr = RankInitiatorParty(q, crit, addrs, opts)
+		initRes, initErr = RankInitiatorParty(context.Background(), q, crit, addrs, opts)
 	}()
 	for j := 1; j <= len(profiles); j++ {
 		j := j
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := RankParticipantParty(q, addrs, j, profiles[j-1], opts)
+			res, err := RankParticipantParty(context.Background(), q, addrs, j, profiles[j-1], opts)
 			if err != nil {
 				partErrs[j-1] = err
 				return
@@ -86,7 +87,7 @@ func TestRankPartyMatchesInProcess(t *testing.T) {
 			opts.Sorter = tc.sorter
 			opts.GroupName = tc.group
 
-			want, err := Rank(q, crit, profiles, opts)
+			want, err := Rank(context.Background(), q, crit, profiles, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,7 +147,7 @@ func TestRankPartySessionMismatch(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, errs[0] = RankInitiatorParty(q, crit, addrs, opts)
+		_, errs[0] = RankInitiatorParty(context.Background(), q, crit, addrs, opts)
 	}()
 	for j := 1; j <= len(profiles); j++ {
 		j := j
@@ -157,7 +158,7 @@ func TestRankPartySessionMismatch(t *testing.T) {
 			if j == 2 {
 				o.K = o.K + 1 // the misconfigured deployment
 			}
-			_, errs[j] = RankParticipantParty(q, addrs, j, profiles[j-1], o)
+			_, errs[j] = RankParticipantParty(context.Background(), q, addrs, j, profiles[j-1], o)
 		}()
 	}
 	wg.Wait()
@@ -195,20 +196,20 @@ func TestRankPartyValidation(t *testing.T) {
 	crit, profiles := demoData(t)
 	addrs := []string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"}
 
-	if _, err := RankInitiatorParty(nil, crit, addrs, fastOpts("v")); err == nil {
+	if _, err := RankInitiatorParty(context.Background(), nil, crit, addrs, fastOpts("v")); err == nil {
 		t.Error("nil questionnaire accepted")
 	}
-	if _, err := RankInitiatorParty(q, crit, addrs[:2], fastOpts("v")); err == nil {
+	if _, err := RankInitiatorParty(context.Background(), q, crit, addrs[:2], fastOpts("v")); err == nil {
 		t.Error("two-address mesh accepted (needs initiator plus two participants)")
 	}
 	for _, me := range []int{0, -1, len(addrs)} {
-		if _, err := RankParticipantParty(q, addrs, me, profiles[0], fastOpts("v")); err == nil {
+		if _, err := RankParticipantParty(context.Background(), q, addrs, me, profiles[0], fastOpts("v")); err == nil {
 			t.Errorf("participant index %d accepted", me)
 		}
 	}
 	bad := fastOpts("v")
 	bad.GroupName = "no-such-group"
-	if _, err := RankInitiatorParty(q, crit, addrs, bad); err == nil {
+	if _, err := RankInitiatorParty(context.Background(), q, crit, addrs, bad); err == nil {
 		t.Error("unknown group accepted")
 	}
 }

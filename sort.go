@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"math/big"
-	"time"
 
 	"groupranking/internal/fixedbig"
 	"groupranking/internal/group"
@@ -23,19 +22,15 @@ type SortOptions struct {
 	Bits int
 	// Seed makes the run deterministic; empty draws a fresh random seed.
 	Seed string
-	// Timeout bounds the run. For UnlinkableSort, 0 means no deadline;
-	// for UnlinkableSortParty it also bounds each blocking receive on the
-	// TCP mesh (default 2 minutes there). On expiry every party aborts
-	// with a typed *transport.AbortError instead of hanging.
-	Timeout time.Duration
-	// Observer, when non-nil, records per-party phase spans and crypto/
-	// communication counters. UnlinkableSort fills one party per value;
-	// UnlinkableSortParty fills only this party's slot.
-	Observer *Observer
-	// Workers bounds the goroutines each party's crypto hot loops fan
-	// out on: 0 uses every CPU, 1 forces the serial reference path.
-	// Results are identical at every setting.
-	Workers int
+
+	// Runtime bundles the execution knobs shared with Options. The
+	// sorting entry points honor Timeout (0 means no deadline
+	// in-process, 2 minutes for UnlinkableSortParty, where it also
+	// bounds each blocking receive on the TCP mesh), Workers and
+	// Observer (UnlinkableSort fills one party per value;
+	// UnlinkableSortParty only this party's slot); Recovery, Faults and
+	// Telemetry apply to the full framework only and are ignored here.
+	Runtime
 }
 
 // SortResult is the outcome of an in-process sorting run with the same
@@ -51,33 +46,19 @@ type SortResult struct {
 }
 
 // UnlinkableSort runs the paper's identity-unlinkable multiparty sorting
-// protocol over the given values, one in-process party per value, and
-// returns each party's rank (1 = largest; equal values share a rank).
+// protocol over the given values, one in-process party per value. The
+// returned SortResult carries each party's rank (1 = largest; equal
+// values share a rank) plus the transport statistics the framework's
+// Result exposes.
 //
 // The privacy property this simulates: each party learns only its own
 // rank, and an adversary controlling up to n−2 parties cannot link an
 // honest party's value to its identity as long as that party's rank
 // stays hidden.
-func UnlinkableSort(values []uint64, opts SortOptions) ([]int, error) {
-	res, err := UnlinkableSortCtx(context.Background(), values, opts)
-	if err != nil {
-		return nil, err
-	}
-	return res.Ranks, nil
-}
-
-// UnlinkableSortStats is UnlinkableSort with the transport statistics
-// the framework's Result exposes: total bytes on the wire and distinct
-// communication rounds.
-func UnlinkableSortStats(values []uint64, opts SortOptions) (*SortResult, error) {
-	return UnlinkableSortCtx(context.Background(), values, opts)
-}
-
-// UnlinkableSortCtx is the context form of UnlinkableSort, returning
-// the full SortResult. The run aborts cleanly when ctx is done;
-// opts.Timeout, when set, composes with ctx — whichever deadline
-// expires first wins.
-func UnlinkableSortCtx(ctx context.Context, values []uint64, opts SortOptions) (*SortResult, error) {
+//
+// The run aborts cleanly when ctx is done; opts.Timeout, when set,
+// composes with ctx — whichever deadline expires first wins.
+func UnlinkableSort(ctx context.Context, values []uint64, opts SortOptions) (*SortResult, error) {
 	o, err := opts.withDefaults(values)
 	if err != nil {
 		return nil, err
@@ -112,6 +93,23 @@ func UnlinkableSortCtx(ctx context.Context, values []uint64, opts SortOptions) (
 	}, nil
 }
 
+// UnlinkableSortCtx is a thin wrapper kept for callers of the old split
+// API.
+//
+// Deprecated: UnlinkableSort is context-first now; call it directly.
+func UnlinkableSortCtx(ctx context.Context, values []uint64, opts SortOptions) (*SortResult, error) {
+	return UnlinkableSort(ctx, values, opts)
+}
+
+// UnlinkableSortStats is a thin wrapper kept for callers of the old
+// split API, from when UnlinkableSort returned bare ranks.
+//
+// Deprecated: UnlinkableSort returns the full SortResult; call it
+// directly.
+func UnlinkableSortStats(values []uint64, opts SortOptions) (*SortResult, error) {
+	return UnlinkableSort(context.Background(), values, opts)
+}
+
 // UnlinkableSortParty runs one party of the identity-unlinkable sorting
 // protocol over real TCP: addrs lists every party's listen address
 // (this party listens on addrs[me]), value is this party's private
@@ -121,13 +119,10 @@ func UnlinkableSortCtx(ctx context.Context, values []uint64, opts SortOptions) (
 // concurrently. This is the deployment entry point for the paper's
 // standalone sorting primitive; RankParticipantParty is its counterpart
 // for the full framework.
-func UnlinkableSortParty(addrs []string, me int, value uint64, opts SortOptions) (int, error) {
-	return UnlinkableSortPartyCtx(context.Background(), addrs, me, value, opts)
-}
-
-// UnlinkableSortPartyCtx is UnlinkableSortParty under caller-supplied
-// cancellation; opts.Timeout (default 2 minutes) composes with ctx.
-func UnlinkableSortPartyCtx(ctx context.Context, addrs []string, me int, value uint64, opts SortOptions) (int, error) {
+//
+// opts.Timeout (default 2 minutes) composes with ctx — whichever
+// deadline expires first wins.
+func UnlinkableSortParty(ctx context.Context, addrs []string, me int, value uint64, opts SortOptions) (int, error) {
 	o, err := opts.withPartyDefaults()
 	if err != nil {
 		return 0, err
@@ -158,4 +153,13 @@ func UnlinkableSortPartyCtx(ctx context.Context, addrs []string, me int, value u
 		return 0, err
 	}
 	return res.Rank, nil
+}
+
+// UnlinkableSortPartyCtx is a thin wrapper kept for callers of the old
+// split API.
+//
+// Deprecated: UnlinkableSortParty is context-first now; call it
+// directly.
+func UnlinkableSortPartyCtx(ctx context.Context, addrs []string, me int, value uint64, opts SortOptions) (int, error) {
+	return UnlinkableSortParty(ctx, addrs, me, value, opts)
 }
