@@ -16,9 +16,9 @@ RACE_PKGS := . ./internal/transport/ ./internal/core/ ./internal/unlinksort/ ./i
 FUZZ_PKGS := ./internal/group/ ./internal/wirecodec/ ./internal/elgamal/ ./internal/transport/
 FUZZ_TIME ?= 2s
 
-.PHONY: check vet build test race race-full fuzz chaos chaos-byz bench bench-json bench-compare trace-demo demo-distributed telemetry-demo serve-demo loadtest-smoke clean
+.PHONY: check vet build test race race-full fuzz chaos chaos-byz chaos-rankd bench bench-json bench-compare trace-demo demo-distributed telemetry-demo serve-demo loadtest-smoke clean
 
-check: vet build test race fuzz serve-demo loadtest-smoke
+check: vet build test race fuzz chaos-rankd serve-demo loadtest-smoke
 
 # staticcheck is optional tooling: run it when the developer has it
 # installed, stay silent (and green) when they do not.
@@ -62,6 +62,14 @@ chaos:
 # detector, asserting no honest party is ever blamed.
 chaos-byz:
 	$(GO) test -race -v -run 'TestByz|TestSubView' ./internal/chaos/
+
+# The daemon-level chaos suite, under the race detector: real rankd
+# processes, real SIGKILL — one of four daemons dies with eight
+# sessions in flight and restarts on the same journals; every session
+# must end byte-identical to the in-process ground truth, and SIGTERM
+# must drain the mesh to clean exits.
+chaos-rankd:
+	$(GO) test -race -v -run 'TestChaosRankd' ./cmd/rankd/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

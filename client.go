@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"groupranking/internal/api"
@@ -72,6 +74,10 @@ type APIError struct {
 	Code string
 	// Message is the human-readable cause.
 	Message string
+	// RetryAfter is the daemon's Retry-After hint, 0 when the response
+	// carried none. Overload (admission_full) and graceful-shutdown
+	// (draining) rejections always carry one.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -80,16 +86,88 @@ func (e *APIError) Error() string {
 }
 
 // IsAdmissionFull reports whether err is the daemon's admission-cap
-// rejection — the one client error worth retrying with backoff.
+// rejection.
 func IsAdmissionFull(err error) bool {
 	e, ok := err.(*APIError)
 	return ok && e.Code == "admission_full"
 }
 
+// IsDraining reports whether err is a daemon's graceful-shutdown
+// rejection: the daemon stopped admitting work and a restarted daemon
+// (or another replica) will take the retry.
+func IsDraining(err error) bool {
+	e, ok := err.(*APIError)
+	return ok && e.Code == "draining"
+}
+
+// IsRetryable reports whether err is a daemon rejection that a retry
+// with backoff can outwait: overload shedding (admission_full) and
+// graceful drain (draining). Both are rejected BEFORE any state
+// changes, so retrying them is always safe.
+func IsRetryable(err error) bool {
+	return IsAdmissionFull(err) || IsDraining(err)
+}
+
+// RetryPolicy tunes a Client's automatic retry of retryable daemon
+// rejections (see IsRetryable): capped exponential backoff with
+// jitter, never sleeping less than the daemon's own Retry-After hint.
+// The zero value of each knob takes the default.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries, first included (default 5).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 50ms); attempt n
+	// waits about BaseDelay·2ⁿ, half of it jittered.
+	BaseDelay time.Duration
+	// MaxDelay caps a single wait (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// delay computes the wait before retry number attempt (0-based): the
+// capped exponential step, at least the daemon's hint, with the upper
+// half jittered so a rejected fleet does not reconverge in lockstep.
+func (p RetryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	d := p.BaseDelay << uint(attempt)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	if hint > d {
+		d = hint
+	}
+	if d > 1 {
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	}
+	return d
+}
+
 // Client talks to one rankd daemon.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy
+}
+
+// WithRetry returns a copy of the client that transparently retries
+// retryable daemon rejections (overload shedding, graceful drain)
+// under the given policy. Context cancellation interrupts a backoff
+// sleep immediately.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	p = p.withDefaults()
+	cc := *c
+	cc.retry = &p
+	return &cc
 }
 
 // NewClient builds a client for the daemon at baseURL (e.g.
@@ -104,8 +182,34 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	return &Client{base: baseURL, hc: hc}
 }
 
-// do runs one JSON round trip; out may be nil.
+// do runs one JSON round trip, retrying retryable rejections when the
+// client has a RetryPolicy; out may be nil.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.retry == nil {
+		return c.doOnce(ctx, method, path, in, out)
+	}
+	p := *c.retry
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, in, out)
+		if err == nil || !IsRetryable(err) || attempt+1 >= p.MaxAttempts {
+			return err
+		}
+		hint := time.Duration(0)
+		if e, ok := err.(*APIError); ok {
+			hint = e.RetryAfter
+		}
+		t := time.NewTimer(p.delay(attempt, hint))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// doOnce runs exactly one JSON round trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		raw, err := json.Marshal(in)
@@ -128,6 +232,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		apiErr := &APIError{Status: resp.StatusCode, Code: "unknown"}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var e api.Error
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Code != "" {
 			apiErr.Code, apiErr.Message = e.Code, e.Message

@@ -1,0 +1,128 @@
+package groupranking
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"groupranking/internal/api"
+)
+
+// The client retry suite: a Client with a RetryPolicy outwaits
+// shedding rejections (honoring the daemon's Retry-After as a floor),
+// gives up after MaxAttempts, and aborts a backoff sleep the moment
+// the caller's context dies.
+
+// shedServer fakes a daemon that rejects the first reject creations
+// with the given code, then admits.
+func shedServer(t *testing.T, code string, retryAfterSecs string, reject int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := calls.Add(1)
+		if n <= reject {
+			if retryAfterSecs != "" {
+				w.Header().Set("Retry-After", retryAfterSecs)
+			}
+			status := http.StatusServiceUnavailable
+			if code == api.CodeAdmissionFull {
+				status = http.StatusTooManyRequests
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(api.Error{Code: code, Message: "go away"})
+			return
+		}
+		json.NewEncoder(w).Encode(api.SessionInfo{ID: "s-ok"})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestClientRetrySucceedsAfterShedding(t *testing.T) {
+	srv, calls := shedServer(t, api.CodeAdmissionFull, "", 2)
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	id, err := c.CreateSession(context.Background(), SessionSpec{})
+	if err != nil {
+		t.Fatalf("create through two shed rejections: %v", err)
+	}
+	if id != "s-ok" || calls.Load() != 3 {
+		t.Fatalf("got id %q after %d calls, want s-ok after 3", id, calls.Load())
+	}
+}
+
+func TestClientRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	srv, calls := shedServer(t, "draining", "", 1<<30)
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	_, err := c.CreateSession(context.Background(), SessionSpec{})
+	if !IsDraining(err) {
+		t.Fatalf("exhausted retries returned %v, want the final draining rejection", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("client made %d attempts, policy allows exactly 3", calls.Load())
+	}
+}
+
+// TestClientRetryContextCancellation: the daemon's Retry-After hint is
+// far longer than the caller is willing to wait; cancelling the
+// context must interrupt the backoff sleep immediately instead of
+// serving out the hint.
+func TestClientRetryContextCancellation(t *testing.T) {
+	srv, calls := shedServer(t, "draining", "30", 1<<30)
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{MaxAttempts: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.CreateSession(ctx, SessionSpec{})
+	if err != context.Canceled {
+		t.Fatalf("cancelled retry returned %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("cancellation took %v to take effect; it must interrupt the 30s Retry-After sleep", waited)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("client made %d attempts before cancellation, want 1", calls.Load())
+	}
+}
+
+// TestClientRetryHonorsRetryAfterFloor: the daemon's hint is a floor
+// under the computed backoff — the retry must not land earlier.
+func TestClientRetryHonorsRetryAfterFloor(t *testing.T) {
+	srv, _ := shedServer(t, api.CodeAdmissionFull, "1", 1)
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	start := time.Now()
+	if _, err := c.CreateSession(context.Background(), SessionSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	// The hint was 1s and jitter keeps at least half of it.
+	if waited := time.Since(start); waited < 500*time.Millisecond {
+		t.Fatalf("retry landed after %v; the 1s Retry-After floor allows 500ms at the earliest", waited)
+	}
+}
+
+// TestClientNoRetryWithoutPolicy: a plain client surfaces the first
+// rejection untouched.
+func TestClientNoRetryWithoutPolicy(t *testing.T) {
+	srv, calls := shedServer(t, api.CodeAdmissionFull, "1", 1<<30)
+	c := NewClient(srv.URL, srv.Client())
+	_, err := c.CreateSession(context.Background(), SessionSpec{})
+	if !IsAdmissionFull(err) || calls.Load() != 1 {
+		t.Fatalf("plain client: %v after %d calls, want admission_full after 1", err, calls.Load())
+	}
+	apiErr := err.(*APIError)
+	if apiErr.RetryAfter != time.Second {
+		t.Fatalf("Retry-After parsed as %v, want 1s", apiErr.RetryAfter)
+	}
+}

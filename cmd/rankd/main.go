@@ -18,8 +18,19 @@
 // sessions share one connection per peer pair, plus the service
 // session lifecycle counters.
 //
-// SIGINT/SIGTERM shuts the daemon down cleanly: in-flight sessions
-// abort, the mesh connections close, and the process exits 0.
+// With -journal DIR the daemon is durable: every session's transcript
+// and lifecycle land in append-only journals under DIR, and a
+// restarted daemon (same flags, same DIR) re-adopts its sessions —
+// finished results stay pollable, interrupted sessions resume
+// byte-identically. An unusable DIR (unwritable, not a directory, or
+// locked by another live daemon for the same slot) exits 2 at startup.
+//
+// SIGINT/SIGTERM drains the daemon gracefully: admission closes (new
+// work is rejected with the typed "draining" code and a Retry-After),
+// running sessions get -drain to finish, and whatever remains is
+// parked in the journals for the next life to pick up (without
+// -journal it simply aborts). A second signal forces shutdown
+// immediately.
 package main
 
 import (
@@ -57,6 +68,9 @@ func run() int {
 		sessionTimeout = flag.Duration("session-timeout", 2*time.Minute, "default (and ceiling) per-session budget")
 		workers        = flag.Int("workers", 0, "goroutines per session's crypto hot loops (0 = all CPUs, 1 = serial)")
 		queueCap       = flag.Int("queue-cap", 0, "per-session receive budget in frames per peer link (0 = the transport default)")
+		journalDir     = flag.String("journal", "", "durable mode: journal sessions under this directory and resume them across restarts")
+		grace          = flag.Duration("grace", 0, "durable mode: how long a disconnected peer daemon may take to come back before sessions blame it (0 = the transport default)")
+		drainBudget    = flag.Duration("drain", 20*time.Second, "graceful-drain budget on SIGINT/SIGTERM: how long running sessions may finish before the rest is parked (or aborted without -journal)")
 	)
 	flag.Parse()
 
@@ -79,6 +93,9 @@ func run() int {
 			Timeout: *sessionTimeout,
 			Workers: *workers,
 		},
+	}
+	if *journalDir != "" {
+		cfg.Recovery = &groupranking.RecoveryOptions{Dir: *journalDir, Grace: *grace}
 	}
 	var adminSrv *http.Server
 	if *adminAddr != "" {
@@ -108,9 +125,15 @@ func run() int {
 	d, err := service.NewDaemon(cfg)
 	if err != nil {
 		log.Print(err)
+		if errors.Is(err, service.ErrBadJournalDir) {
+			return 2 // operator mistake, not a runtime fault
+		}
 		return 1
 	}
 	defer d.Close()
+	if *journalDir != "" {
+		log.Printf("durable mode: journals under %s", *journalDir)
+	}
 
 	srv := &http.Server{Handler: d.Handler()}
 	errCh := make(chan error, 1)
@@ -122,11 +145,23 @@ func run() int {
 	log.Printf("%s daemon serving the session API on http://%s (cap %d sessions, result TTL %v)",
 		role, apiLn.Addr(), *maxSessions, *resultTTL)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("caught %v; shutting down", s)
+		log.Printf("caught %v; draining (admission closed, %v budget; signal again to force)", s, *drainBudget)
+		drained := make(chan int, 1)
+		go func() { drained <- d.Drain(*drainBudget) }()
+		select {
+		case left := <-drained:
+			if left > 0 && *journalDir != "" {
+				log.Printf("parked %d unfinished sessions for the next life to resume", left)
+			} else if left > 0 {
+				log.Printf("aborting %d unfinished sessions (no -journal to park them in)", left)
+			}
+		case s2 := <-sig:
+			log.Printf("caught %v; forcing shutdown", s2)
+		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("api server: %v", err)

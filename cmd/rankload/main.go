@@ -82,7 +82,9 @@ func run() int {
 	clients := make([]*groupranking.Client, len(apis))
 	hc := &http.Client{Timeout: 30 * time.Second}
 	for i, base := range apis {
-		clients[i] = groupranking.NewClient(base, hc)
+		// Retry shed/drain rejections with backoff: a load generator
+		// pushing past the admission cap should queue, not fail.
+		clients[i] = groupranking.NewClient(base, hc).WithRetry(groupranking.RetryPolicy{MaxAttempts: 8})
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()

@@ -90,6 +90,12 @@ type SessionSpec struct {
 	// this session; 0 takes the daemon default. The daemon's configured
 	// budget is a hard ceiling — a spec cannot ask for more.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IdempotencyKey, when non-empty, makes creation idempotent: a
+	// retried POST carrying a key the daemon has already bound returns
+	// the existing session instead of creating a duplicate. Keys are
+	// persisted with the durable session table, so the guarantee holds
+	// across a daemon restart.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // Session states. A session is created pending, moves to establishing
@@ -167,12 +173,14 @@ type ResultResponse struct {
 type Error struct {
 	// Code is a stable machine-readable cause: "bad_request",
 	// "not_found", "wrong_role", "conflict", "admission_full",
-	// "peer_rejected".
+	// "peer_rejected", "draining".
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
 
-// Error codes.
+// Error codes. Responses carrying CodeAdmissionFull or CodeDraining
+// also set a Retry-After header (seconds) — the client's retry helper
+// honors it.
 const (
 	CodeBadRequest    = "bad_request"
 	CodeNotFound      = "not_found"
@@ -180,4 +188,7 @@ const (
 	CodeConflict      = "conflict"
 	CodeAdmissionFull = "admission_full"
 	CodePeerRejected  = "peer_rejected"
+	// CodeDraining: the daemon is shutting down gracefully and admits
+	// no new work; running sessions finish or are parked for restart.
+	CodeDraining = "draining"
 )

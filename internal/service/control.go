@@ -3,12 +3,25 @@ package service
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"time"
 
 	"groupranking/internal/api"
 	"groupranking/internal/transport"
 )
+
+// peerRejectError carries a participant daemon's typed nack back to
+// the creation flow, so handleCreate can map a peer's draining or
+// admission_full to the matching retryable HTTP response.
+type peerRejectError struct {
+	code   string
+	reason string
+}
+
+func (e *peerRejectError) Error() string {
+	return fmt.Sprintf("service: peer daemon rejected the session (%s): %s", e.code, e.reason)
+}
 
 // The daemon control plane rides the session mux's control lane (one
 // frame kind on the same multiplexed connections the sessions use, so
@@ -29,10 +42,14 @@ type ctlOpen struct {
 	Spec api.SessionSpec // Criterion scrubbed
 }
 
-// ctlOpenAck is a participant daemon's admission verdict.
+// ctlOpenAck is a participant daemon's admission verdict. Code is the
+// api.Code* cause on a rejection, so the initiator daemon can surface
+// a peer's admission_full or draining to the client as the retryable
+// condition it is (instead of a generic peer_rejected).
 type ctlOpenAck struct {
 	ID     string
 	OK     bool
+	Code   string
 	Reason string
 }
 
@@ -81,6 +98,14 @@ func (d *Daemon) onOpen(from int, open ctlOpen) {
 	if err := d.admitAnnounced(open); err != nil {
 		ack.OK = false
 		ack.Reason = err.Error()
+		switch {
+		case errors.Is(err, errDraining):
+			ack.Code = api.CodeDraining
+		case errors.Is(err, errAdmissionFull):
+			ack.Code = api.CodeAdmissionFull
+		default:
+			ack.Code = api.CodePeerRejected
+		}
 	}
 	// Best effort: if the link back to the initiator died the sessions
 	// on it are already failing with a typed peer-down abort.
@@ -112,7 +137,19 @@ func (d *Daemon) admitAnnounced(open ctlOpen) error {
 		created: time.Now(),
 		state:   api.StatePending,
 	}
-	return d.register(s)
+	if err := d.register(s); err != nil {
+		return err
+	}
+	// Durable mode: the admission must survive a crash — a participant
+	// that forgot an announced session could never serve its resume
+	// half. A failed table write refuses the session cleanly.
+	if d.store != nil {
+		if err := d.store.logOpen(s.id, s.spec, s.created); err != nil {
+			d.unregister(s)
+			return err
+		}
+	}
+	return nil
 }
 
 // onOpenAck routes a participant's verdict to the creation flow
@@ -183,7 +220,11 @@ func (d *Daemon) announceSession(ctx context.Context, s *session) error {
 		select {
 		case ack := <-ackCh:
 			if !ack.OK {
-				return fail(fmt.Errorf("service: peer daemon rejected the session: %s", ack.Reason))
+				code := ack.Code
+				if code == "" {
+					code = api.CodePeerRejected
+				}
+				return fail(&peerRejectError{code: code, reason: ack.Reason})
 			}
 		case <-deadline.C:
 			return fail(fmt.Errorf("service: %w: session announcement unacked after %v", transport.ErrTimeout, s.timeout))

@@ -2,9 +2,12 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"slices"
 	"sort"
+	"strconv"
 	"time"
 
 	"groupranking/internal/api"
@@ -42,6 +45,45 @@ func writeErr(w http.ResponseWriter, status int, code, format string, args ...an
 	writeJSON(w, status, api.Error{Code: code, Message: fmt.Sprintf(format, args...)})
 }
 
+// Retry-After hints for the two retryable reject codes: admission
+// pressure clears as fast as sessions finish; a drain only clears once
+// the restarted daemon is back.
+const (
+	retryAfterAdmission = 1 * time.Second
+	retryAfterDraining  = 2 * time.Second
+)
+
+// writeRetryErr is writeErr plus a Retry-After header — the overload
+// and drain rejects, which the client's retry helper backs off on.
+func writeRetryErr(w http.ResponseWriter, status int, code string, after time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(after/time.Second)))
+	writeErr(w, status, code, format, args...)
+}
+
+// writeAdmissionErr maps a register/announce failure to its HTTP
+// shape: draining and admission_full are retryable (503/429 with
+// Retry-After), anything else falls through to the given default.
+func writeAdmissionErr(w http.ResponseWriter, err error, defStatus int, defCode string) {
+	var pr *peerRejectError
+	code := ""
+	switch {
+	case errors.Is(err, errDraining):
+		code = api.CodeDraining
+	case errors.Is(err, errAdmissionFull):
+		code = api.CodeAdmissionFull
+	case errors.As(err, &pr):
+		code = pr.code
+	}
+	switch code {
+	case api.CodeDraining:
+		writeRetryErr(w, http.StatusServiceUnavailable, api.CodeDraining, retryAfterDraining, "%v", err)
+	case api.CodeAdmissionFull:
+		writeRetryErr(w, http.StatusTooManyRequests, api.CodeAdmissionFull, retryAfterAdmission, "%v", err)
+	default:
+		writeErr(w, defStatus, defCode, "%v", err)
+	}
+}
+
 // decodeBody decodes a bounded JSON request body.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -75,6 +117,23 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 			q.M(), q.M(), len(spec.Criterion.Values), len(spec.Criterion.Weights))
 		return
 	}
+	// An already-bound idempotency key means a retried POST: answer
+	// with the session it created the first time, creating nothing.
+	if spec.IdempotencyKey != "" {
+		if prior := d.lookupKey(spec.IdempotencyKey); prior != nil {
+			writeJSON(w, http.StatusOK, prior.info(len(d.cfg.Addrs)))
+			return
+		}
+	}
+	// Durable sessions re-execute deterministically from their journal,
+	// which requires a seed; draw one for the client when it pinned
+	// none (shared with the mesh like any client seed).
+	if d.cfg.Recovery != nil && spec.Seed == "" {
+		if spec.Seed, err = drawSeed(); err != nil {
+			writeErr(w, http.StatusInternalServerError, api.CodeBadRequest, "%v", err)
+			return
+		}
+	}
 	id, err := newSessionID()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, api.CodeBadRequest, "%v", err)
@@ -91,13 +150,24 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 		criterion: workload.Criterion{Values: spec.Criterion.Values, Weights: spec.Criterion.Weights},
 	}
 	if err := d.register(s); err != nil {
-		writeErr(w, http.StatusTooManyRequests, api.CodeAdmissionFull, "%v", err)
+		writeAdmissionErr(w, err, http.StatusTooManyRequests, api.CodeAdmissionFull)
 		return
 	}
 	if err := d.announceSession(r.Context(), s); err != nil {
 		d.terminate(s, err)
-		writeErr(w, http.StatusBadGateway, api.CodePeerRejected, "%v", err)
+		writeAdmissionErr(w, err, http.StatusBadGateway, api.CodePeerRejected)
 		return
+	}
+	// Durably admit before the runner starts: a crash after this line
+	// re-adopts and resumes the session, a crash before it loses a
+	// session no client was ever told about.
+	if d.store != nil {
+		if err := d.store.logOpen(s.id, s.spec, s.created); err != nil {
+			d.broadcastAbort(s.id, err)
+			d.terminate(s, err)
+			writeErr(w, http.StatusInternalServerError, api.CodeBadRequest, "%v", err)
+			return
+		}
 	}
 	s.mu.Lock()
 	if api.Terminal(s.state) {
@@ -139,6 +209,7 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"profile needs %d values, got %d", s.q.M(), len(req.Values))
 		return
 	}
+	draining := d.Draining() // before s.mu: lock order is d.mu -> s.mu
 	s.mu.Lock()
 	if api.Terminal(s.state) {
 		state, reason := s.state, s.abortReason
@@ -147,14 +218,42 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.started {
+		// A byte-identical resubmission is a client retry, not a
+		// conflict: acknowledge it again (idempotent submit).
+		same := slices.Equal(s.profile.Values, req.Values)
 		s.mu.Unlock()
+		if same {
+			writeJSON(w, http.StatusAccepted, s.info(len(d.cfg.Addrs)))
+			return
+		}
 		writeErr(w, http.StatusConflict, api.CodeConflict, "session %s already has this participant's profile", s.id)
+		return
+	}
+	// A draining daemon starts no new runners; the announced session
+	// stays pending in the table and takes the profile after restart.
+	if draining {
+		s.mu.Unlock()
+		writeRetryErr(w, http.StatusServiceUnavailable, api.CodeDraining, retryAfterDraining,
+			"service: daemon %d is draining and starts no new session runners", d.cfg.Me)
 		return
 	}
 	s.profile = workload.Profile{Values: req.Values}
 	s.started = true
 	s.state = api.StateEstablishing
 	s.mu.Unlock()
+	// Durable mode: the profile must survive a crash before the runner
+	// depends on it — a restarted daemon cannot re-ask the client.
+	if d.store != nil {
+		if err := d.store.logSubmit(s.id, req.Values); err != nil {
+			s.mu.Lock()
+			s.profile = workload.Profile{}
+			s.started = false
+			s.state = api.StatePending
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, api.CodeBadRequest, "%v", err)
+			return
+		}
+	}
 	d.spawn(s)
 	writeJSON(w, http.StatusAccepted, s.info(len(d.cfg.Addrs)))
 }

@@ -52,7 +52,26 @@ func (d *Daemon) runSession(s *session) {
 	s.cancel = cancel
 	s.mu.Unlock()
 
-	snet, err := d.mux.Open(s.id, s.timeout)
+	// Durable mode: open (or reopen) this session's transport journal
+	// and join the mux in recovering mode — journaled receives replay
+	// without the network, journaled sends are suppressed against the
+	// deterministic re-execution, and the journal answers peers' resume
+	// requests. The journal file handle closes with the runner, but the
+	// mux keeps serving retransmissions from its in-memory transcript
+	// until the janitor purges the session.
+	var snet *transport.MuxSession
+	var err error
+	if d.cfg.Recovery != nil {
+		j, jerr := d.openSessionJournal(s)
+		if jerr != nil {
+			d.finish(s, nil, jerr, start)
+			return
+		}
+		defer j.Close()
+		snet, err = d.mux.OpenRecovering(s.id, s.timeout, j)
+	} else {
+		snet, err = d.mux.Open(s.id, s.timeout)
+	}
 	if err != nil {
 		d.finish(s, nil, err, start)
 		return
@@ -115,7 +134,12 @@ func (d *Daemon) runSession(s *session) {
 
 // finish records a session's terminal state exactly once, fans an
 // abort out to the peer daemons when this daemon failed first, and
-// updates the outcome metrics.
+// updates the outcome metrics. In durable mode the outcome is also
+// written to the session table — EXCEPT when the abort is only this
+// daemon shutting down (drain parked the session or Close cancelled
+// it): the table then still holds the session non-terminal, so the
+// next life re-adopts and resumes it instead of serving a spurious
+// abort.
 func (d *Daemon) finish(s *session, res *api.ResultResponse, err error, start time.Time) {
 	elapsed := time.Since(start).Milliseconds()
 	s.mu.Lock()
@@ -138,11 +162,16 @@ func (d *Daemon) finish(s *session, res *api.ResultResponse, err error, start ti
 		}
 		s.result = &api.ResultResponse{ID: s.id, State: api.StateAborted, Error: reason, ElapsedMS: elapsed}
 	}
+	terminal := s.result
 	s.doneAt = time.Now()
 	broadcast := err != nil && s.abortReason == "" && d.ctx.Err() == nil
+	parked := err != nil && d.ctx.Err() != nil
 	s.mu.Unlock()
 	if broadcast {
 		d.broadcastAbort(s.id, err)
+	}
+	if d.store != nil && !parked {
+		_ = d.store.logDone(s.id, terminal)
 	}
 	d.sessionEnded(err == nil)
 }

@@ -22,8 +22,10 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -65,10 +67,14 @@ type Config struct {
 	// never exceed it (default 2 minutes); Workers bounds each
 	// session's crypto parallelism; Telemetry collects the mux link and
 	// service session metrics; Observer collects per-phase spans across
-	// sessions. Recovery and Faults are ignored — journaled crash
-	// recovery is a single-session deployment feature, and fault
-	// injection enters the daemon only through the FaultPlanner test
-	// hook.
+	// sessions. Recovery, when set, makes the daemon durable: every
+	// session journals its transcript and lifecycle under Recovery.Dir,
+	// the mesh runs the reconnecting epoch'd mux, and a restarted
+	// daemon re-adopts its sessions — terminal results stay pollable,
+	// interrupted sessions resume byte-identically (Recovery.Heartbeat
+	// is unused here; the mux grace alone bounds peer outages). Faults
+	// are ignored — fault injection enters the daemon only through the
+	// FaultPlanner test hook.
 	groupranking.Runtime
 }
 
@@ -121,6 +127,13 @@ type Daemon struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 	acks     map[string]chan ctlOpenAck
+	keys     map[string]string // idempotency key -> session id
+	draining bool
+
+	// Durable state (nil with Config.Recovery unset).
+	store *store
+	lock  *os.File // flock'd journal-dir slot lock
+	epoch int      // this process life's number, 1-based
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -129,6 +142,14 @@ type Daemon struct {
 
 	met serviceMetrics
 }
+
+// Typed admission outcomes. register wraps them so the HTTP and
+// control planes can map the cause to the right client-visible code
+// (429 admission_full vs 503 draining, both with Retry-After).
+var (
+	errAdmissionFull = errors.New("admission cap reached")
+	errDraining      = errors.New("draining")
+)
 
 // session is one ranking session's slot in the daemon table.
 type session struct {
@@ -184,11 +205,43 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	core.RegisterWire()
-	mux, err := transport.NewSessionMux(cfg.Addrs, cfg.Me, cfg.Timeout, transport.MuxOptions{
+
+	// Durable mode boots before the mesh: validate and lock the journal
+	// dir, load the session table, and carry the boot epoch into the
+	// mux's reconnect handshake so peers can tell this life's
+	// connections from the last one's.
+	var (
+		st     *store
+		lock   *os.File
+		stored map[string]*storedSession
+		epoch  int
+	)
+	if cfg.Recovery != nil {
+		if err := validateJournalDir(cfg.Recovery.Dir); err != nil {
+			return nil, err
+		}
+		if lock, err = lockJournalDir(cfg.Recovery.Dir, cfg.Me); err != nil {
+			return nil, err
+		}
+		if st, stored, epoch, err = openStore(storePath(cfg.Recovery.Dir, cfg.Me)); err != nil {
+			lock.Close()
+			return nil, err
+		}
+	}
+
+	muxOpts := transport.MuxOptions{
 		Telemetry: cfg.Telemetry,
 		QueueCap:  cfg.QueueCap,
-	})
+	}
+	if cfg.Recovery != nil {
+		muxOpts.Recovery = &transport.MuxRecovery{Epoch: epoch, Grace: cfg.Recovery.Grace}
+	}
+	mux, err := transport.NewSessionMux(cfg.Addrs, cfg.Me, cfg.Timeout, muxOpts)
 	if err != nil {
+		if st != nil {
+			st.Close()
+			lock.Close()
+		}
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -197,11 +250,19 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		mux:      mux,
 		sessions: make(map[string]*session),
 		acks:     make(map[string]chan ctlOpenAck),
+		keys:     make(map[string]string),
+		store:    st,
+		lock:     lock,
+		epoch:    epoch,
 		ctx:      ctx,
 		cancel:   cancel,
 		met:      newServiceMetrics(cfg.Telemetry),
 	}
 	cfg.Telemetry.SetHealthSource(mux)
+	cfg.Telemetry.SetServiceStatus(d.Status)
+	if stored != nil {
+		d.readopt(stored)
+	}
 	d.wg.Add(2)
 	go d.controlLoop()
 	go d.janitor()
@@ -214,15 +275,82 @@ func (d *Daemon) Me() int { return d.cfg.Me }
 // Parties returns the mesh size (initiator + participants).
 func (d *Daemon) Parties() int { return len(d.cfg.Addrs) }
 
-// Close shuts the daemon down: every in-flight session aborts, the
-// mesh connections close, and all daemon goroutines exit before Close
-// returns.
+// Close shuts the daemon down: every in-flight session aborts (in
+// durable mode their terminal state is NOT recorded — a restart
+// re-adopts and resumes them instead), the mesh connections close,
+// and all daemon goroutines exit before Close returns.
 func (d *Daemon) Close() {
 	d.closeOnce.Do(func() {
 		d.cancel()
 		d.mux.Close()
 		d.wg.Wait()
+		if d.store != nil {
+			d.store.Close()
+			d.lock.Close()
+		}
 	})
+}
+
+// BeginDrain closes admission: creations, announcements and first
+// profile submissions are rejected with the typed draining code (and a
+// Retry-After) from here on, while already-running sessions keep
+// going. Idempotent; there is no way back short of a restart.
+func (d *Daemon) BeginDrain() {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain was called.
+func (d *Daemon) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Drain is the graceful-shutdown front half: stop admitting, give the
+// sessions whose runners are already executing up to budget to finish,
+// and return how many non-terminal sessions remain. In durable mode
+// the remainder is parked — the store still holds them non-terminal,
+// so the next life re-adopts and resumes them; without recovery the
+// caller's Close simply aborts them. Callers follow with Close.
+func (d *Daemon) Drain(budget time.Duration) int {
+	d.BeginDrain()
+	deadline := time.Now().Add(budget)
+	for {
+		d.mu.Lock()
+		running, live := 0, 0
+		for _, s := range d.sessions {
+			s.mu.Lock()
+			if !api.Terminal(s.state) {
+				live++
+				if s.started {
+					running++
+				}
+			}
+			s.mu.Unlock()
+		}
+		d.mu.Unlock()
+		if running == 0 || time.Now().After(deadline) {
+			return live
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Status is the service block /healthz renders: per-state session
+// counts, the drain flag, and (in durable mode) the boot epoch.
+func (d *Daemon) Status() telemetry.ServiceStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	counts := map[string]int{
+		api.StatePending: 0, api.StateEstablishing: 0, api.StateRunning: 0,
+		api.StateDone: 0, api.StateAborted: 0,
+	}
+	for _, s := range d.sessions {
+		counts[s.snapshotState()]++
+	}
+	return telemetry.ServiceStatus{Draining: d.draining, Epoch: d.epoch, Sessions: counts}
 }
 
 // Handler returns the daemon's HTTP API (see internal/api for the
@@ -315,10 +443,16 @@ func (d *Daemon) resolveSpec(spec api.SessionSpec) (core.Params, *workload.Quest
 }
 
 // register admits a new session under the cap, or reports the reason
-// it cannot.
+// it cannot (wrapping errDraining / errAdmissionFull so callers can
+// map the cause to the right reject code). A non-empty idempotency
+// key is bound atomically with the admission.
 func (d *Daemon) register(s *session) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.draining {
+		d.met.rejected.Inc()
+		return fmt.Errorf("service: daemon %d is %w and admits no new sessions", d.cfg.Me, errDraining)
+	}
 	live := 0
 	for _, other := range d.sessions {
 		if !api.Terminal(other.snapshotState()) {
@@ -327,15 +461,45 @@ func (d *Daemon) register(s *session) error {
 	}
 	if live >= d.cfg.MaxSessions {
 		d.met.rejected.Inc()
-		return fmt.Errorf("service: daemon %d is at its %d-session admission cap", d.cfg.Me, d.cfg.MaxSessions)
+		return fmt.Errorf("service: daemon %d is at its %d-session admission cap: %w", d.cfg.Me, d.cfg.MaxSessions, errAdmissionFull)
 	}
 	if _, dup := d.sessions[s.id]; dup {
 		return fmt.Errorf("service: session %s already exists", s.id)
 	}
 	d.sessions[s.id] = s
+	if key := s.spec.IdempotencyKey; key != "" {
+		d.keys[key] = s.id
+	}
 	d.met.created.Inc()
 	d.met.liveN++
 	d.met.live.Set(float64(d.met.liveN))
+	return nil
+}
+
+// unregister rolls an admission back (store write failed after
+// register succeeded); the session never existed as far as clients
+// are concerned.
+func (d *Daemon) unregister(s *session) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.sessions[s.id]; !ok {
+		return
+	}
+	delete(d.sessions, s.id)
+	if key := s.spec.IdempotencyKey; key != "" && d.keys[key] == s.id {
+		delete(d.keys, key)
+	}
+	d.met.liveN--
+	d.met.live.Set(float64(d.met.liveN))
+}
+
+// lookupKey resolves an idempotency key to its bound session.
+func (d *Daemon) lookupKey(key string) *session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.keys[key]; ok {
+		return d.sessions[id]
+	}
 	return nil
 }
 
@@ -390,9 +554,25 @@ func (d *Daemon) sweep(now time.Time) {
 		}
 	}
 	for _, id := range purge {
+		s := d.sessions[id]
 		delete(d.sessions, id)
+		if s != nil {
+			if key := s.spec.IdempotencyKey; key != "" && d.keys[key] == id {
+				delete(d.keys, key)
+			}
+		}
 	}
 	d.mu.Unlock()
+	for _, id := range purge {
+		// Durable mode: the purge is durable too — the table forgets the
+		// session, its transport journal is deleted, and the mux stops
+		// answering resume requests for it.
+		if d.store != nil {
+			_ = d.store.logPurge(id)
+			d.mux.DropResumable(id)
+			os.Remove(d.sessionJournalPath(id))
+		}
+	}
 	for _, s := range stale {
 		d.terminate(s, fmt.Errorf("service: no profile submitted within the session's %v budget", s.timeout))
 	}
@@ -434,8 +614,12 @@ func (d *Daemon) terminate(s *session, cause error) {
 	}
 	s.state = api.StateAborted
 	s.result = &api.ResultResponse{ID: s.id, State: api.StateAborted, Error: s.abortReason}
+	res := s.result
 	s.doneAt = time.Now()
 	s.mu.Unlock()
+	if d.store != nil && d.ctx.Err() == nil {
+		_ = d.store.logDone(s.id, res)
+	}
 	d.sessionEnded(false)
 }
 

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"groupranking/internal/api"
+)
+
+// The durable session table: one append-only JSONL file per daemon
+// under the journal directory, recording every fact the daemon must
+// not forget across a crash — which sessions it admitted (with their
+// resolved spec, so a restart re-derives the same parameters), which
+// profiles its clients already submitted, which idempotency keys are
+// bound, and every terminal outcome (so GET /result keeps answering
+// after a restart). The per-session protocol transcripts live in the
+// per-session transport journals (internal/journal); this table is
+// only the daemon's index over them.
+//
+// Records are one JSON object per line. A crash can tear the final
+// line mid-write; the loader drops an undecodable tail but refuses
+// corruption anywhere earlier, mirroring the transport journal's
+// torn-tail rule. The table is compacted on every open — terminal
+// sessions collapse to open+done, purged ones vanish — and the boot
+// record's epoch counts this daemon's process lives, which is exactly
+// the epoch the session mux carries in its reconnect handshake.
+
+// storeRec is one JSONL line of the session table.
+type storeRec struct {
+	// T discriminates: "boot", "open", "submit", "done", "purge".
+	T string `json:"t"`
+	// Epoch is this process life's number (boot records only).
+	Epoch int `json:"epoch,omitempty"`
+	// ID names the session (all but boot).
+	ID string `json:"id,omitempty"`
+	// Spec is the admitted spec, criterion included at the initiator
+	// daemon — the table is that daemon's own private disk, and the
+	// criterion is required to resume an interrupted session. Scrubbed
+	// specs arrive already criterion-free at participant daemons.
+	Spec *api.SessionSpec `json:"spec,omitempty"`
+	// CreatedMS is the admission time (open records), Unix milliseconds.
+	CreatedMS int64 `json:"created_ms,omitempty"`
+	// Values is the submitted profile (submit records).
+	Values []int64 `json:"values,omitempty"`
+	// Result is the terminal outcome (done records; aborts included).
+	Result *api.ResultResponse `json:"result,omitempty"`
+}
+
+// storedSession is one session folded out of the table.
+type storedSession struct {
+	Spec       api.SessionSpec
+	Created    time.Time
+	HasProfile bool
+	Values     []int64
+	Result     *api.ResultResponse
+}
+
+// store is the open session table. Appends are fsync'd: an outcome a
+// client may already have polled can never un-happen across a restart.
+type store struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	closed bool
+}
+
+// storePath names the daemon's session table inside the journal dir.
+func storePath(dir string, me int) string {
+	return filepath.Join(dir, fmt.Sprintf("sessions-p%d.table", me))
+}
+
+// openStore loads (or creates) the table at path, bumps the boot
+// epoch, compacts the file, and returns the surviving sessions. The
+// returned epoch counts this process life (1 on the first boot).
+func openStore(path string) (*store, map[string]*storedSession, int, error) {
+	sessions, epoch, err := loadTable(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	epoch++
+	if err := compactTable(path, epoch, sessions); err != nil {
+		return nil, nil, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("service: reopening session table: %w", err)
+	}
+	return &store{f: f, path: path}, sessions, epoch, nil
+}
+
+// loadTable folds the JSONL file into per-session state. A missing
+// file is an empty table; an undecodable FINAL line is a torn append
+// and is dropped; an undecodable earlier line is corruption and an
+// error.
+func loadTable(path string) (map[string]*storedSession, int, error) {
+	sessions := make(map[string]*storedSession)
+	epoch := 0
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return sessions, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: reading session table: %w", err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	// Trailing newline yields one empty final element; ignore it.
+	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	for i, line := range lines {
+		var rec storeRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn final append: the crash signature, drop it
+			}
+			return nil, 0, fmt.Errorf("service: session table %s corrupt at line %d: %w", path, i+1, err)
+		}
+		switch rec.T {
+		case "boot":
+			if rec.Epoch > epoch {
+				epoch = rec.Epoch
+			}
+		case "open":
+			if rec.Spec == nil {
+				return nil, 0, fmt.Errorf("service: session table %s: open record for %s has no spec", path, rec.ID)
+			}
+			sessions[rec.ID] = &storedSession{
+				Spec:    *rec.Spec,
+				Created: time.UnixMilli(rec.CreatedMS),
+			}
+		case "submit":
+			if s := sessions[rec.ID]; s != nil {
+				s.HasProfile = true
+				s.Values = rec.Values
+			}
+		case "done":
+			if s := sessions[rec.ID]; s != nil {
+				s.Result = rec.Result
+			}
+		case "purge":
+			delete(sessions, rec.ID)
+		default:
+			return nil, 0, fmt.Errorf("service: session table %s: unknown record kind %q at line %d", path, rec.T, i+1)
+		}
+	}
+	return sessions, epoch, nil
+}
+
+// compactTable rewrites the table as boot + the minimal record set per
+// surviving session, atomically (tmp, fsync, rename).
+func compactTable(path string, epoch int, sessions map[string]*storedSession) error {
+	ids := make([]string, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := sessions[ids[i]], sessions[ids[j]]
+		if !a.Created.Equal(b.Created) {
+			return a.Created.Before(b.Created)
+		}
+		return ids[i] < ids[j]
+	})
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: compacting session table: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting session table: %w", err)
+	}
+	writeRec := func(rec storeRec) error {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := writeRec(storeRec{T: "boot", Epoch: epoch}); err != nil {
+		return fail(err)
+	}
+	for _, id := range ids {
+		s := sessions[id]
+		spec := s.Spec
+		if err := writeRec(storeRec{T: "open", ID: id, Spec: &spec, CreatedMS: s.Created.UnixMilli()}); err != nil {
+			return fail(err)
+		}
+		if s.HasProfile {
+			if err := writeRec(storeRec{T: "submit", ID: id, Values: s.Values}); err != nil {
+				return fail(err)
+			}
+		}
+		if s.Result != nil {
+			if err := writeRec(storeRec{T: "done", ID: id, Result: s.Result}); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting session table: %w", err)
+	}
+	return nil
+}
+
+// append writes and fsyncs one record.
+func (st *store) append(rec storeRec) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: encoding session table record: %w", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("service: session table %s is closed", st.path)
+	}
+	if _, err := st.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("service: appending to session table: %w", err)
+	}
+	if err := st.f.Sync(); err != nil {
+		return fmt.Errorf("service: syncing session table: %w", err)
+	}
+	return nil
+}
+
+// logOpen durably admits a session.
+func (st *store) logOpen(id string, spec api.SessionSpec, created time.Time) error {
+	return st.append(storeRec{T: "open", ID: id, Spec: &spec, CreatedMS: created.UnixMilli()})
+}
+
+// logSubmit durably records this daemon's participant profile.
+func (st *store) logSubmit(id string, values []int64) error {
+	return st.append(storeRec{T: "submit", ID: id, Values: values})
+}
+
+// logDone durably records a terminal outcome (done or aborted).
+func (st *store) logDone(id string, res *api.ResultResponse) error {
+	return st.append(storeRec{T: "done", ID: id, Result: res})
+}
+
+// logPurge durably forgets a session the janitor retired.
+func (st *store) logPurge(id string) error {
+	return st.append(storeRec{T: "purge", ID: id})
+}
+
+// Close releases the file. Idempotent.
+func (st *store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	return st.f.Close()
+}

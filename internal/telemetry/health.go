@@ -57,3 +57,40 @@ func (r *Registry) HealthSource() HealthSource {
 	defer r.mu.Unlock()
 	return r.health
 }
+
+// ServiceStatus is the service-tier block a daemon contributes to
+// /healthz on top of the per-peer link states: its session lifecycle
+// census and whether it is draining. A draining daemon reports
+// non-200 so load balancers stop routing new work to it while its
+// running sessions finish.
+type ServiceStatus struct {
+	// Draining is true once graceful shutdown began: admission is
+	// closed and only already-running sessions continue.
+	Draining bool `json:"draining"`
+	// Epoch counts the daemon's process lives (durable mode only;
+	// omitted when zero).
+	Epoch int `json:"epoch,omitempty"`
+	// Sessions counts hosted sessions per lifecycle state.
+	Sessions map[string]int `json:"sessions"`
+}
+
+// SetServiceStatus installs the callback /healthz uses to render the
+// service block. Nil-registry and nil-callback safe.
+func (r *Registry) SetServiceStatus(f func() ServiceStatus) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.svcStatus = f
+	r.mu.Unlock()
+}
+
+// ServiceStatusSource returns the installed callback, or nil.
+func (r *Registry) ServiceStatusSource() func() ServiceStatus {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.svcStatus
+}

@@ -20,8 +20,9 @@ import (
 
 // healthReport is the /healthz response body.
 type healthReport struct {
-	Status string       `json:"status"` // ok | degraded | starting
-	Peers  []PeerHealth `json:"peers,omitempty"`
+	Status  string         `json:"status"` // ok | degraded | draining | starting
+	Peers   []PeerHealth   `json:"peers,omitempty"`
+	Service *ServiceStatus `json:"service,omitempty"`
 }
 
 // AdminMux builds the admin HTTP handler over a registry. Extra
@@ -63,6 +64,17 @@ func AdminMux(reg *Registry, collect ...func(io.Writer) error) *http.ServeMux {
 					code = http.StatusServiceUnavailable
 					break
 				}
+			}
+		}
+		if src := reg.ServiceStatusSource(); src != nil {
+			st := src()
+			report.Service = &st
+			// A draining daemon is deliberately non-200: load balancers
+			// must stop routing new sessions here while the running ones
+			// finish.
+			if st.Draining {
+				report.Status = "draining"
+				code = http.StatusServiceUnavailable
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")

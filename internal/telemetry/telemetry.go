@@ -86,7 +86,7 @@ type metric struct {
 	fam        *family
 	labelValue string
 
-	val int64  // counter value / histogram observation count
+	val  int64  // counter value / histogram observation count
 	bits uint64 // gauge float64 bits / unused
 
 	hcounts []int64 // histogram per-bucket counts, len(buckets)+1 (+Inf last)
@@ -116,7 +116,8 @@ type Registry struct {
 	fams   []*family
 	byName map[string]*family
 
-	health HealthSource
+	health    HealthSource
+	svcStatus func() ServiceStatus
 }
 
 // NewRegistry creates an empty metrics registry.

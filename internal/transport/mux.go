@@ -53,6 +53,10 @@ type SessionMux struct {
 	ctrl chan ControlMsg
 	mm   *muxMetrics
 
+	// rec holds the recovering-mode state (nil when the mux was built
+	// without MuxOptions.Recovery; every recovery hook checks it).
+	rec *muxRecovery
+
 	// lastSeen[peer] is the unix-nano time of the last frame decoded
 	// from that peer (atomic; 0 before first contact).
 	lastSeen []int64
@@ -79,6 +83,25 @@ type MuxOptions struct {
 	PendingCap int
 	// ControlCap bounds the control-plane delivery channel (default 256).
 	ControlCap int
+	// Recovery, when non-nil, switches the mux into recovering mode:
+	// the listener stays open for the mux's lifetime, lost links are
+	// re-dialed and re-accepted instead of failing every session, and
+	// journal-backed sessions opened with OpenRecovering survive both
+	// peer restarts and a restart of this daemon itself.
+	Recovery *MuxRecovery
+}
+
+// MuxRecovery configures a recovering SessionMux.
+type MuxRecovery struct {
+	// Epoch is this daemon's boot epoch (1 = first run), carried in the
+	// link handshake so peers can tell a restarted daemon from a stale
+	// connection.
+	Epoch int
+	// Grace bounds how long a lost link may stay down before the mux
+	// blames the peer and fails every open session's receives from it
+	// (default 30s). A link that re-attaches within the grace resumes
+	// every session silently.
+	Grace time.Duration
 }
 
 // ControlMsg is one control-plane frame: mux-level traffic between
@@ -89,24 +112,37 @@ type ControlMsg struct {
 }
 
 // muxHello introduces a daemon endpoint on a freshly dialed mux link.
+// Epoch is the dialing daemon's boot epoch (0 when recovery is off):
+// a recovering acceptor uses it to reject stale connections from
+// before a peer's restart.
 type muxHello struct {
 	Party int
+	Epoch int
 }
 
 // muxEnv is the mux wire frame: the TCP envelope extended with the
 // session route tag. Kind separates per-session protocol data from the
-// daemons' control plane (whose frames carry an empty SID).
+// daemons' control plane (whose frames carry an empty SID). Seq is the
+// per-(session,peer) send sequence number recovering sessions stamp on
+// data frames (1-based; 0 marks an unsequenced frame from a session
+// running without recovery) and the resume cursor on resume frames.
 type muxEnv struct {
 	SID     string
 	Kind    uint8
 	Round   int
 	Bytes   int
+	Seq     uint64
 	Payload any
 }
 
 const (
 	muxKindData    uint8 = 1
 	muxKindControl uint8 = 2
+	// muxKindResume is a per-session retransmission request: "I hold
+	// Seq frames journaled from you for SID — re-send everything after
+	// that." Sent after a link re-attach and by restarted daemons when
+	// they re-adopt a session.
+	muxKindResume uint8 = 3
 
 	defaultMuxQueueCap   = 1024
 	defaultMuxPendingCap = 1024
@@ -181,6 +217,14 @@ func NewSessionMux(addrs []string, me int, timeout time.Duration, opts MuxOption
 		closeCh:    make(chan struct{}),
 	}
 	m.mm = newMuxMetrics(opts.Telemetry)
+
+	if opts.Recovery != nil {
+		if err := m.formRecovering(addrs, *opts.Recovery); err != nil {
+			m.Close()
+			return nil, err
+		}
+		return m, nil
+	}
 
 	ln, err := net.Listen("tcp", addrs[me])
 	if err != nil {
@@ -396,6 +440,12 @@ func (m *SessionMux) Me() int { return m.me }
 // default. A sid can be opened once per mux lifetime — reuse after
 // Close is an error, because late frames for the old life were dropped.
 func (m *SessionMux) Open(sid string, timeout time.Duration) (*MuxSession, error) {
+	return m.open(sid, timeout, nil)
+}
+
+// open is the shared session-registration path behind Open and
+// OpenRecovering; j is non-nil only for journal-backed sessions.
+func (m *SessionMux) open(sid string, timeout time.Duration, j Journaler) (*MuxSession, error) {
 	if sid == "" {
 		return nil, fmt.Errorf("transport: mux session needs a non-empty id")
 	}
@@ -424,6 +474,11 @@ func (m *SessionMux) Open(sid string, timeout time.Duration) (*MuxSession, error
 		s.inbox[i] = make(chan muxEnv, m.queueCap)
 		s.peerDown[i] = make(chan struct{})
 	}
+	if j != nil {
+		if err := s.loadJournal(j); err != nil {
+			return nil, err
+		}
+	}
 	m.mu.Lock()
 	if m.sessions[sid] != nil {
 		m.mu.Unlock()
@@ -450,6 +505,9 @@ func (m *SessionMux) Open(sid string, timeout time.Duration) (*MuxSession, error
 		}
 	}
 	m.sessions[sid] = s
+	if j != nil && m.rec != nil {
+		m.rec.resumable[sid] = j
+	}
 	m.mu.Unlock()
 	for i, peer := range deadPeers {
 		s.failPeer(peer, deadErrs[i])
@@ -460,6 +518,11 @@ func (m *SessionMux) Open(sid string, timeout time.Duration) (*MuxSession, error
 		for _, f := range p.frames {
 			s.deliver(f.from, f.env)
 		}
+	}
+	if j != nil {
+		// Ask every connected peer for anything we have not journaled
+		// yet; peers that attach later are asked on attach.
+		s.announceResume()
 	}
 	m.mm.onSessionOpen()
 	return s, nil
@@ -543,6 +606,11 @@ func (m *SessionMux) Health() []telemetry.PeerHealth {
 		state := telemetry.StateConnected
 		if closed || m.linkErr[peer] != nil || m.conns[peer] == nil {
 			state = telemetry.StateDead
+			// A recovering link that is down but inside its grace window
+			// is reconnecting, not dead.
+			if !closed && m.rec != nil && m.linkErr[peer] == nil && !m.rec.blamed[peer] {
+				state = telemetry.StateReconnecting
+			}
 		}
 		last := int64(-1)
 		if ns := atomic.LoadInt64(&m.lastSeen[peer]); ns != 0 {
@@ -560,6 +628,9 @@ func (m *SessionMux) Close() {
 	m.closeOnce.Do(func() {
 		close(m.closeCh)
 		m.mu.Lock()
+		if m.rec != nil {
+			m.rec.closeLocked()
+		}
 		for _, c := range m.conns {
 			if c != nil {
 				c.Close()
@@ -593,6 +664,20 @@ type MuxSession struct {
 	echoMsgs  int64
 	echoBytes int64
 
+	// Journal-backed recovery state (nil/unused when j is nil): see
+	// muxrecover.go. sendMu guards the send side (sequence counters and
+	// replay suppression), recvMu the receive side (replay queues, the
+	// next-expected cursors and the per-peer reorder stash).
+	j           Journaler
+	sendMu      sync.Mutex
+	sendSeq     []uint64
+	replaySends [][]JournalMsg
+	resuming    []bool
+	recvMu      sync.Mutex
+	recvNext    []uint64
+	replayRecvs [][]JournalMsg
+	stash       []map[uint64]muxEnv
+
 	closeOnce sync.Once
 	closeCh   chan struct{}
 }
@@ -610,6 +695,12 @@ func (s *MuxSession) N() int { return s.m.n }
 // that peer (isolation demands the pump never blocks on a slow
 // session), leaving the link and every other session untouched.
 func (s *MuxSession) deliver(from int, env muxEnv) {
+	if env.Kind == muxKindResume {
+		// A retransmission request for this session; served off the pump
+		// goroutine so a slow link never blocks other sessions' reads.
+		s.serveResume(from, env.Seq)
+		return
+	}
 	s.peerMu.Lock()
 	failed := s.peerErr[from] != nil
 	s.peerMu.Unlock()
@@ -660,6 +751,9 @@ func (s *MuxSession) Send(round, from, to, bytes int, payload any) error {
 	}
 	s.statsMu.Unlock()
 	s.m.mm.onSessionSend(bytes)
+	if s.j != nil {
+		return s.sendRecovering(round, to, bytes, payload)
+	}
 	return s.m.writeFrame(to, s.timeout, muxEnv{SID: s.sid, Kind: muxKindData, Round: round, Bytes: bytes, Payload: payload})
 }
 
@@ -677,6 +771,9 @@ func (s *MuxSession) RecvCtx(ctx context.Context, to, from, round int) (any, err
 	}
 	if from < 0 || from >= s.m.n || from == s.m.me {
 		return nil, fmt.Errorf("transport: invalid source %d", from)
+	}
+	if s.j != nil {
+		return s.recvRecovering(ctx, from, round)
 	}
 	take := func(env muxEnv) (any, error) {
 		if round >= 0 && env.Round != round {
@@ -792,6 +889,8 @@ type muxMetrics struct {
 	closed       nilCounter
 	pendingDrops nilCounter
 	lateFrames   nilCounter
+	resumeFrames nilCounter
+	retransmits  nilCounter
 
 	// active mirrors the open-session count into a gauge; the count is
 	// kept here because telemetry gauges only support Set.
@@ -858,6 +957,8 @@ func newMuxMetrics(reg *telemetry.Registry) *muxMetrics {
 		closed:       nilCounter{reg.Counter("mux_sessions_closed_total", "Sessions closed on this mux.")},
 		pendingDrops: nilCounter{reg.Counter("mux_pending_dropped_total", "Frames dropped because a not-yet-opened session overran its pending buffer.")},
 		lateFrames:   nilCounter{reg.Counter("mux_late_frames_total", "Frames dropped because their session was already closed.")},
+		resumeFrames: nilCounter{reg.Counter("mux_resume_frames_total", "Resume (retransmission request) frames received over all mux links.")},
+		retransmits:  nilCounter{reg.Counter("mux_retransmit_frames_total", "Session frames re-served from a journal after a resume request.")},
 		active:       reg.Gauge("mux_sessions_active", "Sessions currently open on this mux."),
 	}
 }

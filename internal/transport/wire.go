@@ -125,11 +125,13 @@ func init() {
 	wirecodec.Register(wirecodec.IDRangeTransport+5, "mux hello",
 		[]any{muxHello{}},
 		func(dst []byte, v any) ([]byte, error) {
-			return wirecodec.AppendI64(dst, int64(v.(muxHello).Party)), nil
+			h := v.(muxHello)
+			dst = wirecodec.AppendI64(dst, int64(h.Party))
+			return wirecodec.AppendI64(dst, int64(h.Epoch)), nil
 		},
 		func(data []byte) (any, error) {
 			r := wirecodec.NewReader(data)
-			h := muxHello{Party: r.Int()}
+			h := muxHello{Party: r.Int(), Epoch: r.Int()}
 			if err := r.Finish(); err != nil {
 				return nil, fmt.Errorf("transport: mux hello: %w", err)
 			}
@@ -144,6 +146,7 @@ func init() {
 			dst = wirecodec.AppendU8(dst, e.Kind)
 			dst = wirecodec.AppendI64(dst, int64(e.Round))
 			dst = wirecodec.AppendI64(dst, int64(e.Bytes))
+			dst = wirecodec.AppendU64(dst, e.Seq)
 			return wirecodec.AppendValue(dst, e.Payload)
 		},
 		func(data []byte) (any, error) {
@@ -153,6 +156,7 @@ func init() {
 			e.Kind = r.U8()
 			e.Round = r.Int()
 			e.Bytes = r.Int()
+			e.Seq = r.U64()
 			e.Payload = r.Value()
 			if err := r.Finish(); err != nil {
 				return nil, fmt.Errorf("transport: mux envelope: %w", err)
